@@ -1,0 +1,42 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! write-buffer share, the number of priorities, and TRIM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::ablation;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for b_frac in [0.0f64, 0.10, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::new("write_buffer_fraction", format!("{:.0}%", b_frac * 100.0)),
+            &b_frac,
+            |b, &frac| {
+                b.iter(|| black_box(ablation::write_buffer_sweep(scale, &[frac])));
+            },
+        );
+    }
+    for n in [4u8, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("priority_count", n), &n, |b, &n| {
+            b.iter(|| black_box(ablation::priority_range_sweep(scale, &[n])));
+        });
+    }
+    group.bench_function("trim_vs_no_trim", |b| {
+        b.iter(|| black_box(ablation::trim_ablation(scale)));
+    });
+    group.finish();
+
+    let (with_trim, without_trim) = ablation::trim_ablation(scale);
+    println!(
+        "\nTRIM ablation: {} = {:.3} s, {} = {:.3} s\n",
+        with_trim.setting, with_trim.seconds, without_trim.setting, without_trim.seconds
+    );
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 11 and Table 8: the power-test query sequence under HDD-only,
+//! hStorage-DB and SSD-only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::fig11;
+use hstorage::{SystemConfig, TpchSystem};
+use hstorage_tpch::power::power_test_sequence;
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let sequence = power_test_sequence();
+    let mut group = c.benchmark_group("fig11_power_test");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in fig11::POWER_TEST_CONFIGS {
+        group.bench_with_input(BenchmarkId::new("sequence", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
+                black_box(system.run_sequence(&sequence))
+            });
+        });
+    }
+    group.finish();
+
+    let report = fig11::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4: request-type diversity across the 22 TPC-H queries.
+//!
+//! The measured quantity is the wall-clock cost of classifying and running
+//! the full query set once; the generated report (request/block fractions
+//! per class) is the reproduction of Figure 4a/4b.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hstorage::experiments::fig4;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let mut group = c.benchmark_group("fig4_diversity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("all_22_queries", |b| {
+        b.iter(|| black_box(fig4::run(black_box(scale))));
+    });
+    group.finish();
+
+    // Print the reproduced figure once so `cargo bench` output contains the
+    // rows the paper reports.
+    let report = fig4::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

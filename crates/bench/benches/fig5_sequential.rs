@@ -1,0 +1,35 @@
+//! Figure 5 and Table 4: sequential-dominated queries (Q1, Q5, Q11, Q19)
+//! under the four storage configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::run_single_query;
+use hstorage::experiments::fig5;
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::QueryId;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let mut group = c.benchmark_group("fig5_sequential");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for q in fig5::SEQUENTIAL_QUERIES {
+        for kind in StorageConfigKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("Q{q}"), kind.label()),
+                &(q, kind),
+                |b, &(q, kind)| {
+                    b.iter(|| black_box(run_single_query(scale, kind, QueryId::Q(q))));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let report = fig5::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

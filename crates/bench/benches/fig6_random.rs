@@ -1,0 +1,34 @@
+//! Figure 6 and Tables 5/6: random-dominated queries (Q9, Q21) under the
+//! four storage configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::{fig6, run_single_query};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::QueryId;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let mut group = c.benchmark_group("fig6_random");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for q in [9u8, 21] {
+        for kind in StorageConfigKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("Q{q}"), kind.label()),
+                &(q, kind),
+                |b, &(q, kind)| {
+                    b.iter(|| black_box(run_single_query(scale, kind, QueryId::Q(q))));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let report = fig6::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

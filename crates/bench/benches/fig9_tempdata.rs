@@ -1,0 +1,32 @@
+//! Figure 9 and Table 7: the temporary-data-dominated query Q18 under the
+//! four storage configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::{fig9, run_single_query};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::QueryId;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = hstorage_bench::bench_scale();
+    let mut group = c.benchmark_group("fig9_tempdata");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in StorageConfigKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("Q18", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_single_query(scale, kind, QueryId::Q(18))));
+            },
+        );
+    }
+    group.finish();
+
+    let report = fig9::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

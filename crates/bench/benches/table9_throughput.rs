@@ -1,0 +1,39 @@
+//! Table 9 and Figure 12: the concurrent throughput test (3 query streams
+//! and 1 update stream) under the four storage configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hstorage::experiments::table9;
+use hstorage::{SystemConfig, TpchSystem};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::throughput::{query_stream, update_stream, PAPER_QUERY_STREAMS};
+use hstorage_tpch::{QueryId, TpchScale};
+use std::hint::black_box;
+
+fn run_throughput(scale: TpchScale, kind: StorageConfigKind) -> usize {
+    let mut system = TpchSystem::new(SystemConfig::throughput(scale, kind));
+    let mut streams: Vec<(String, Vec<QueryId>)> = (0..PAPER_QUERY_STREAMS)
+        .map(|i| (format!("query-stream-{}", i + 1), query_stream(i)))
+        .collect();
+    streams.push(("update-stream".to_string(), update_stream(PAPER_QUERY_STREAMS)));
+    system.run_streams(&streams, 64).len()
+}
+
+fn bench_table9(c: &mut Criterion) {
+    let scale = TpchScale::new(0.01);
+    let mut group = c.benchmark_group("table9_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in StorageConfigKind::all() {
+        group.bench_with_input(BenchmarkId::new("throughput_test", kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(run_throughput(scale, kind)));
+        });
+    }
+    group.finish();
+
+    let report = table9::run(scale);
+    println!("\n{report}\n");
+}
+
+criterion_group!(benches, bench_table9);
+criterion_main!(benches);

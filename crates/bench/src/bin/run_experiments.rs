@@ -1,0 +1,126 @@
+//! Regenerates every table and figure of the paper's evaluation and prints
+//! them, together with the paper-vs-measured comparison rows recorded in
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p hstorage-bench --bin run_experiments [scale]`
+//! where the optional `scale` is a TPC-H scale factor (default 0.1 for the
+//! single-query experiments, half of that for the sequence/concurrency
+//! experiments).
+
+use hstorage::experiments::{ablation, fig11, fig4, fig5, fig6, fig9, table9};
+use hstorage::report::PaperComparison;
+use hstorage_tpch::TpchScale;
+
+fn main() {
+    let arg_scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok());
+    let single_scale = arg_scale
+        .map(TpchScale::new)
+        .unwrap_or_else(hstorage_bench::report_scale);
+    let long_scale = arg_scale
+        .map(|s| TpchScale::new((s / 2.0).max(0.01)))
+        .unwrap_or_else(hstorage_bench::report_concurrency_scale);
+
+    println!("hStorage-DB reproduction — experiment harness");
+    println!(
+        "single-query scale = {:.2}, sequence/concurrency scale = {:.2}\n",
+        single_scale.scale_factor, long_scale.scale_factor
+    );
+
+    println!("==================== Figure 4 ====================");
+    let f4 = fig4::run(single_scale);
+    println!("{f4}\n");
+
+    println!("==================== Figure 5 / Table 4 ====================");
+    let f5 = fig5::run(single_scale);
+    println!("{f5}\n");
+
+    println!("==================== Figure 6 / Tables 5-6 ====================");
+    let f6 = fig6::run(single_scale);
+    println!("{f6}\n");
+
+    println!("==================== Figure 9 / Table 7 ====================");
+    let f9 = fig9::run(single_scale);
+    println!("{f9}\n");
+
+    println!("==================== Figure 11 / Table 8 ====================");
+    let f11 = fig11::run(long_scale);
+    println!("{f11}\n");
+
+    println!("==================== Table 9 / Figure 12 ====================");
+    let t9 = table9::run(long_scale);
+    println!("{t9}\n");
+
+    println!("==================== Ablations (not in the paper) ====================");
+    for p in ablation::write_buffer_sweep(long_scale, &[0.0, 0.05, 0.10, 0.25]) {
+        println!("write buffer {:>28}: {:.3} s", p.setting, p.seconds);
+    }
+    for p in ablation::priority_range_sweep(long_scale, &[4, 6, 8, 12]) {
+        println!("priority count {:>26}: {:.3} s", p.setting, p.seconds);
+    }
+    let (with_trim, without_trim) = ablation::trim_ablation(long_scale);
+    println!("{:>41}: {:.3} s", with_trim.setting, with_trim.seconds);
+    println!("{:>41}: {:.3} s", without_trim.setting, without_trim.seconds);
+
+    println!("\n==================== Paper vs measured (key ratios) ====================");
+    let comparisons = vec![
+        PaperComparison::new(
+            "Q1 LRU slowdown vs HDD-only",
+            368.0 / 317.0,
+            f5.lru_slowdown("Q1").unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Q19 LRU slowdown vs HDD-only",
+            315.0 / 252.0,
+            f5.lru_slowdown("Q19").unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Q1 hStorage-DB overhead vs HDD-only",
+            1.0,
+            f5.hstorage_overhead("Q1").unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Q9 SSD-only speedup vs HDD-only",
+            7.2,
+            f6.ssd_speedup("Q9").unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Q21 SSD-only speedup vs HDD-only",
+            3.9,
+            f6.ssd_speedup("Q21").unwrap_or(0.0),
+        ),
+        PaperComparison::new("Q18 SSD-only speedup vs HDD-only", 1.45, f9.ssd_speedup().unwrap_or(0.0)),
+        PaperComparison::new(
+            "Q18 hStorage-DB speedup vs LRU",
+            1.2,
+            f9.hstorage_over_lru().unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Power-test hStorage-DB speedup vs HDD-only (Table 8)",
+            86_009.0 / 39_132.0,
+            f11.hstorage_speedup().unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Throughput hStorage-DB speedup vs HDD-only (Table 9)",
+            43.0 / 13.0,
+            t9.hstorage_over_hdd().unwrap_or(0.0),
+        ),
+        PaperComparison::new(
+            "Throughput hStorage-DB speedup vs LRU (Table 9)",
+            43.0 / 28.0,
+            t9.hstorage_over_lru().unwrap_or(0.0),
+        ),
+    ];
+    for c in &comparisons {
+        println!(
+            "{:60} paper {:7.2}   measured {:7.2}   direction {}",
+            c.metric,
+            c.paper,
+            c.measured,
+            if c.same_direction() { "OK" } else { "MISMATCH" }
+        );
+    }
+    let mismatches = comparisons.iter().filter(|c| !c.same_direction()).count();
+    println!("\n{} of {} key ratios agree in direction", comparisons.len() - mismatches, comparisons.len());
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every Criterion bench in `benches/` regenerates one table or figure of
+//! the paper at a reduced TPC-H scale; the `run_experiments` binary runs
+//! them all once and prints the rows, which is what EXPERIMENTS.md records.
+
+use hstorage_tpch::TpchScale;
+
+/// The scale the Criterion benches run at. Small enough that a single
+/// experiment iteration completes in well under a second, large enough that
+/// the cache/buffer-pool ratios are meaningful.
+pub fn bench_scale() -> TpchScale {
+    TpchScale::new(0.02)
+}
+
+/// The scale the `run_experiments` binary uses for the single-query
+/// experiments (Figures 4–9, Tables 4–7).
+pub fn report_scale() -> TpchScale {
+    TpchScale::new(0.1)
+}
+
+/// The scale used for the long-running sequence and concurrency experiments
+/// (Figure 11 / Table 8, Table 9 / Figure 12).
+pub fn report_concurrency_scale() -> TpchScale {
+    TpchScale::new(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(bench_scale().scale_factor <= report_concurrency_scale().scale_factor);
+        assert!(report_concurrency_scale().scale_factor <= report_scale().scale_factor);
+    }
+}

@@ -1,0 +1,116 @@
+//! Physical block allocator for the SSD cache.
+//!
+//! The cache device is invisible to the OS (Section 5.2), so cached blocks
+//! live at physical block numbers handed out by this allocator. Slots are
+//! recycled when blocks are evicted or invalidated.
+
+/// A fixed-capacity free-slot allocator over physical block numbers
+/// `0..capacity`.
+#[derive(Debug, Clone)]
+pub struct SlotAllocator {
+    capacity: u64,
+    next_fresh: u64,
+    free: Vec<u64>,
+}
+
+impl SlotAllocator {
+    /// Creates an allocator over `capacity` physical blocks.
+    pub fn new(capacity: u64) -> Self {
+        SlotAllocator {
+            capacity,
+            next_fresh: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of slots currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.next_fresh - self.free.len() as u64
+    }
+
+    /// Number of slots still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated()
+    }
+
+    /// Whether every slot is in use.
+    pub fn is_full(&self) -> bool {
+        self.available() == 0
+    }
+
+    /// Allocates a slot, or returns `None` if the cache is full.
+    pub fn allocate(&mut self) -> Option<u64> {
+        if let Some(pbn) = self.free.pop() {
+            return Some(pbn);
+        }
+        if self.next_fresh < self.capacity {
+            let pbn = self.next_fresh;
+            self.next_fresh += 1;
+            Some(pbn)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a slot to the free pool.
+    ///
+    /// # Panics
+    /// Panics if `pbn` was never handed out (out of range), which would
+    /// indicate metadata corruption.
+    pub fn release(&mut self, pbn: u64) {
+        assert!(pbn < self.next_fresh, "releasing unallocated slot {pbn}");
+        self.free.push(pbn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full_then_none() {
+        let mut a = SlotAllocator::new(3);
+        assert_eq!(a.allocate(), Some(0));
+        assert_eq!(a.allocate(), Some(1));
+        assert_eq!(a.allocate(), Some(2));
+        assert!(a.is_full());
+        assert_eq!(a.allocate(), None);
+    }
+
+    #[test]
+    fn release_makes_slot_reusable() {
+        let mut a = SlotAllocator::new(2);
+        let s0 = a.allocate().unwrap();
+        let _s1 = a.allocate().unwrap();
+        assert!(a.is_full());
+        a.release(s0);
+        assert_eq!(a.available(), 1);
+        assert_eq!(a.allocate(), Some(s0));
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let mut a = SlotAllocator::new(10);
+        for _ in 0..7 {
+            a.allocate().unwrap();
+        }
+        assert_eq!(a.allocated(), 7);
+        assert_eq!(a.available(), 3);
+        a.release(3);
+        a.release(5);
+        assert_eq!(a.allocated(), 5);
+        assert_eq!(a.available(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn releasing_unallocated_slot_panics() {
+        let mut a = SlotAllocator::new(10);
+        a.release(0);
+    }
+}

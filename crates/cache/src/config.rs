@@ -1,0 +1,126 @@
+//! Construction of the four storage configurations used in the evaluation.
+
+use crate::hybrid::HybridCache;
+use crate::lru_cache::LruCache;
+use crate::passthrough::{HddOnly, SsdOnly};
+use crate::system::StorageSystem;
+use hstorage_storage::PolicyConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the four storage configurations of Section 6.3 to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageConfigKind {
+    /// Baseline: all I/O served by the hard disk.
+    HddOnly,
+    /// Classical cache: SSD cache managed by LRU, classification ignored.
+    Lru,
+    /// The paper's system: SSD cache managed by caching priorities.
+    HStorageDb,
+    /// Ideal case: all I/O served by the SSD.
+    SsdOnly,
+}
+
+impl StorageConfigKind {
+    /// All four configurations, in the order the paper's figures list them.
+    pub fn all() -> [StorageConfigKind; 4] {
+        [
+            StorageConfigKind::HddOnly,
+            StorageConfigKind::Lru,
+            StorageConfigKind::HStorageDb,
+            StorageConfigKind::SsdOnly,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageConfigKind::HddOnly => "HDD-only",
+            StorageConfigKind::Lru => "LRU",
+            StorageConfigKind::HStorageDb => "hStorage-DB",
+            StorageConfigKind::SsdOnly => "SSD-only",
+        }
+    }
+
+    /// Whether this configuration uses an SSD cache in front of the HDD.
+    pub fn has_cache(&self) -> bool {
+        matches!(self, StorageConfigKind::Lru | StorageConfigKind::HStorageDb)
+    }
+}
+
+impl fmt::Display for StorageConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A full description of a storage configuration: the kind, the cache size
+/// (for cached kinds), and the QoS policy parameters (for hStorage-DB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// Which configuration to build.
+    pub kind: StorageConfigKind,
+    /// SSD cache capacity in blocks (ignored by the passthrough kinds).
+    pub cache_capacity_blocks: u64,
+    /// QoS policy parameters (used by the hStorage-DB kind).
+    pub policy: PolicyConfig,
+}
+
+impl StorageConfig {
+    /// Creates a configuration description.
+    pub fn new(kind: StorageConfigKind, cache_capacity_blocks: u64) -> Self {
+        StorageConfig {
+            kind,
+            cache_capacity_blocks,
+            policy: PolicyConfig::paper_default(),
+        }
+    }
+
+    /// Overrides the policy parameters.
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the storage system.
+    pub fn build(&self) -> Box<dyn StorageSystem> {
+        match self.kind {
+            StorageConfigKind::HddOnly => Box::new(HddOnly::new()),
+            StorageConfigKind::SsdOnly => Box::new(SsdOnly::new()),
+            StorageConfigKind::Lru => Box::new(LruCache::new(self.cache_capacity_blocks)),
+            StorageConfigKind::HStorageDb => {
+                Box::new(HybridCache::new(self.policy, self.cache_capacity_blocks))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_four_kinds_with_expected_names() {
+        for kind in StorageConfigKind::all() {
+            let sys = StorageConfig::new(kind, 1024).build();
+            assert_eq!(sys.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = StorageConfigKind::all()
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn cache_flag() {
+        assert!(StorageConfigKind::Lru.has_cache());
+        assert!(StorageConfigKind::HStorageDb.has_cache());
+        assert!(!StorageConfigKind::HddOnly.has_cache());
+        assert!(!StorageConfigKind::SsdOnly.has_cache());
+    }
+}

@@ -1,0 +1,611 @@
+//! The hStorage-DB hybrid cache (Section 5).
+//!
+//! An SSD works as a cache for an HDD. Admission and eviction are driven by
+//! the caching priority each request carries:
+//!
+//! * **Selective allocation** — only blocks whose priority is below the
+//!   non-caching threshold `t` are considered for caching; when the cache is
+//!   full a new block is admitted only if some resident block has an equal
+//!   or lower priority (which is then evicted first).
+//! * **Selective eviction** — the victim is the least-recently-used block of
+//!   the lowest-priority non-empty group.
+//!
+//! The six actions of Section 5.1 (cache hit, read allocation, write
+//! allocation, bypassing, re-allocation, eviction) are all implemented and
+//! counted, as are TRIM-driven invalidations and write-buffer flushes.
+
+use crate::allocator::SlotAllocator;
+use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
+use crate::priority_group::PriorityGroups;
+use crate::stats::{CacheAction, CacheStats};
+use crate::system::StorageSystem;
+use hstorage_storage::{
+    BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, IoRequest,
+    PolicyConfig, QosPolicy, SimClock, SsdDevice, StorageDevice, TrimCommand,
+};
+use std::time::Duration;
+
+/// Per-request batch of device traffic, flushed as one I/O per device and
+/// direction so multi-block requests pay one command overhead, like the real
+/// system.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeviceBatch {
+    ssd_read: u64,
+    ssd_write: u64,
+    hdd_read: u64,
+    hdd_write: u64,
+}
+
+/// The hybrid SSD-over-HDD storage system managed by caching priorities.
+pub struct HybridCache {
+    policy: PolicyConfig,
+    cache_capacity: u64,
+    clock: SimClock,
+    ssd: SsdDevice,
+    hdd: HddDevice,
+    meta: CacheMetadata,
+    groups: PriorityGroups,
+    alloc: SlotAllocator,
+    stats: CacheStats,
+    /// Blocks currently resident in the write-buffer group (group 0).
+    write_buffer_resident: u64,
+}
+
+impl HybridCache {
+    /// Creates a hybrid cache with `cache_capacity_blocks` of SSD cache in
+    /// front of the HDD, using the paper's device models.
+    pub fn new(policy: PolicyConfig, cache_capacity_blocks: u64) -> Self {
+        let clock = SimClock::new();
+        Self::with_devices(
+            policy,
+            cache_capacity_blocks,
+            SsdDevice::intel_320(clock.clone()),
+            HddDevice::cheetah(clock.clone()),
+            clock,
+        )
+    }
+
+    /// Creates a hybrid cache over explicitly constructed devices. The
+    /// devices must share `clock`.
+    pub fn with_devices(
+        policy: PolicyConfig,
+        cache_capacity_blocks: u64,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        policy.validate().expect("invalid policy configuration");
+        HybridCache {
+            groups: PriorityGroups::new(policy.total_priorities),
+            alloc: SlotAllocator::new(cache_capacity_blocks),
+            policy,
+            cache_capacity: cache_capacity_blocks,
+            clock,
+            ssd,
+            hdd,
+            meta: CacheMetadata::new(),
+            stats: CacheStats::new(),
+            write_buffer_resident: 0,
+        }
+    }
+
+    /// The policy configuration in force.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// Cache capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    /// Maximum number of blocks the write buffer may hold before a flush.
+    pub fn write_buffer_limit(&self) -> u64 {
+        (self.cache_capacity as f64 * self.policy.write_buffer_fraction).floor() as u64
+    }
+
+    /// Number of blocks currently held in the write buffer.
+    pub fn write_buffer_resident(&self) -> u64 {
+        self.write_buffer_resident
+    }
+
+    /// Evicts the selective-eviction victim, writing it back if dirty.
+    /// Returns `false` if the cache was empty.
+    fn evict_one(&mut self, batch: &mut DeviceBatch) -> bool {
+        let Some((victim, prio)) = self.groups.pop_victim() else {
+            return false;
+        };
+        let entry = self
+            .meta
+            .remove(victim)
+            .expect("victim present in groups but not in metadata");
+        debug_assert_eq!(entry.priority, prio);
+        if entry.is_dirty() {
+            batch.hdd_write += 1;
+        }
+        if prio == CachePriority(0) {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        }
+        self.alloc.release(entry.pbn);
+        self.stats.record_action(CacheAction::Eviction, 1);
+        true
+    }
+
+    /// Tries to obtain a free cache slot for a block of priority `prio`,
+    /// applying the selective-allocation rule. Returns the physical slot or
+    /// `None` if the block must bypass the cache.
+    fn try_allocate(&mut self, prio: CachePriority, batch: &mut DeviceBatch) -> Option<u64> {
+        if let Some(pbn) = self.alloc.allocate() {
+            return Some(pbn);
+        }
+        // Cache full: admit only if some resident block has an equal or
+        // lower priority (a numerically >= priority value).
+        let victim_prio = self.groups.lowest_occupied_priority()?;
+        if victim_prio.0 >= prio.0 {
+            self.evict_one(batch);
+            self.alloc.allocate()
+        } else {
+            None
+        }
+    }
+
+    /// Handles one block of a request; returns `true` on a cache hit.
+    fn handle_block(
+        &mut self,
+        lbn: BlockAddr,
+        direction: Direction,
+        policy: QosPolicy,
+        prio: CachePriority,
+        batch: &mut DeviceBatch,
+    ) -> bool {
+        if let Some(entry) = self.meta.get(lbn).copied() {
+            // --- Cache hit ---
+            self.stats.record_action(CacheAction::CacheHit, 1);
+            match policy {
+                QosPolicy::NonCachingNonEviction => {
+                    // Does not affect the existing layout: no touch, no move.
+                }
+                QosPolicy::NonCachingEviction => {
+                    let target = self.policy.non_caching_eviction();
+                    if entry.priority != target {
+                        self.reallocate(lbn, entry.priority, target);
+                    }
+                }
+                QosPolicy::Priority(_) | QosPolicy::WriteBuffer => {
+                    if entry.priority != prio {
+                        self.reallocate(lbn, entry.priority, prio);
+                    } else {
+                        self.groups.touch(lbn, prio);
+                    }
+                }
+            }
+            match direction {
+                Direction::Read => batch.ssd_read += 1,
+                Direction::Write => {
+                    batch.ssd_write += 1;
+                    if let Some(e) = self.meta.get_mut(lbn) {
+                        e.state = BlockState::Dirty;
+                    }
+                }
+            }
+            return true;
+        }
+
+        // --- Cache miss ---
+        let admissible = policy.admits() && self.policy.admissible(prio);
+        if !admissible {
+            // Bypassing: straight to the second-level device.
+            self.stats.record_action(CacheAction::Bypassing, 1);
+            match direction {
+                Direction::Read => batch.hdd_read += 1,
+                Direction::Write => batch.hdd_write += 1,
+            }
+            return false;
+        }
+
+        match self.try_allocate(prio, batch) {
+            Some(pbn) => {
+                let state = match direction {
+                    Direction::Read => {
+                        // Read allocation: fetch from HDD, place in SSD.
+                        self.stats.record_action(CacheAction::ReadAllocation, 1);
+                        batch.hdd_read += 1;
+                        batch.ssd_write += 1;
+                        BlockState::Clean
+                    }
+                    Direction::Write => {
+                        // Write allocation: place in SSD, mark dirty.
+                        self.stats.record_action(CacheAction::WriteAllocation, 1);
+                        batch.ssd_write += 1;
+                        BlockState::Dirty
+                    }
+                };
+                self.meta.insert(
+                    lbn,
+                    CacheEntry {
+                        pbn,
+                        priority: prio,
+                        state,
+                    },
+                );
+                self.groups.insert(lbn, prio);
+                if prio == CachePriority(0) {
+                    self.write_buffer_resident += 1;
+                }
+            }
+            None => {
+                // Not cache-worthy relative to current residents: bypass.
+                self.stats.record_action(CacheAction::Bypassing, 1);
+                match direction {
+                    Direction::Read => batch.hdd_read += 1,
+                    Direction::Write => batch.hdd_write += 1,
+                }
+            }
+        }
+        false
+    }
+
+    fn reallocate(&mut self, lbn: BlockAddr, old: CachePriority, new: CachePriority) {
+        self.groups.reallocate(lbn, old, new);
+        if let Some(e) = self.meta.get_mut(lbn) {
+            e.priority = new;
+        }
+        if old == CachePriority(0) && new != CachePriority(0) {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        } else if new == CachePriority(0) && old != CachePriority(0) {
+            self.write_buffer_resident += 1;
+        }
+        self.stats.record_action(CacheAction::ReAllocation, 1);
+    }
+
+    /// Flushes the write buffer if its occupancy exceeds the `b` threshold:
+    /// dirty buffered blocks are written to the HDD and the buffer is
+    /// drained (the space is returned to the cache).
+    fn maybe_flush_write_buffer(&mut self) {
+        let limit = self.write_buffer_limit();
+        if limit == 0 || self.write_buffer_resident <= limit {
+            return;
+        }
+        let buffered: Vec<BlockAddr> = self
+            .groups
+            .iter_group(CachePriority(0))
+            .copied()
+            .collect();
+        let mut dirty_blocks = 0u64;
+        for lbn in buffered {
+            if let Some(entry) = self.meta.remove(lbn) {
+                if entry.is_dirty() {
+                    dirty_blocks += 1;
+                }
+                self.groups.remove(lbn, CachePriority(0));
+                self.alloc.release(entry.pbn);
+            }
+        }
+        self.write_buffer_resident = 0;
+        if dirty_blocks > 0 {
+            // The flush is a large, mostly sequential transfer to the HDD.
+            self.hdd
+                .serve(&IoRequest::write(BlockRange::new(0u64, dirty_blocks), true));
+        }
+        self.stats
+            .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
+    }
+
+    /// Issues the accumulated device traffic for one request.
+    fn flush_batch(&mut self, req: &ClassifiedRequest, batch: DeviceBatch) {
+        let seq = req.io.sequential;
+        let start = req.io.range.start;
+        if batch.hdd_read > 0 {
+            self.hdd
+                .serve(&IoRequest::read(BlockRange::new(start, batch.hdd_read), seq));
+        }
+        if batch.hdd_write > 0 {
+            self.hdd.serve(&IoRequest::write(
+                BlockRange::new(start, batch.hdd_write),
+                seq,
+            ));
+        }
+        if batch.ssd_read > 0 {
+            self.ssd
+                .serve(&IoRequest::read(BlockRange::new(start, batch.ssd_read), seq));
+        }
+        if batch.ssd_write > 0 {
+            self.ssd.serve(&IoRequest::write(
+                BlockRange::new(start, batch.ssd_write),
+                seq,
+            ));
+        }
+    }
+}
+
+impl StorageSystem for HybridCache {
+    fn name(&self) -> &str {
+        "hStorage-DB"
+    }
+
+    fn submit(&mut self, req: ClassifiedRequest) {
+        let prio = self.policy.resolve(req.policy);
+        let mut batch = DeviceBatch::default();
+        let mut hits = 0u64;
+        for lbn in req.io.range.iter() {
+            if self.handle_block(lbn, req.io.direction, req.policy, prio, &mut batch) {
+                hits += 1;
+            }
+        }
+        let blocks = req.blocks();
+        self.stats.record_class(req.class, blocks, hits);
+        self.stats.record_priority(prio.0, blocks, hits);
+        self.flush_batch(&req, batch);
+        self.maybe_flush_write_buffer();
+        self.stats.resident_blocks = self.meta.len() as u64;
+    }
+
+    fn trim(&mut self, cmd: &TrimCommand) {
+        let mut trimmed = 0u64;
+        for range in &cmd.ranges {
+            for lbn in range.iter() {
+                if let Some(entry) = self.meta.remove(lbn) {
+                    self.groups.remove(lbn, entry.priority);
+                    if entry.priority == CachePriority(0) {
+                        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+                    }
+                    self.alloc.release(entry.pbn);
+                    trimmed += 1;
+                }
+            }
+        }
+        if trimmed > 0 {
+            self.stats.record_action(CacheAction::Trim, trimmed);
+        }
+        self.stats.resident_blocks = self.meta.len() as u64;
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.ssd = Some(self.ssd.stats());
+        s.hdd = Some(self.hdd.stats());
+        s.resident_blocks = self.meta.len() as u64;
+        s
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.ssd.reset_stats();
+        self.hdd.reset_stats();
+    }
+
+    fn resident_blocks(&self) -> u64 {
+        self.meta.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::RequestClass;
+
+    fn cache(capacity: u64) -> HybridCache {
+        HybridCache::new(PolicyConfig::paper_default(), capacity)
+    }
+
+    fn read_req(start: u64, len: u64, class: RequestClass, policy: QosPolicy) -> ClassifiedRequest {
+        let sequential = matches!(class, RequestClass::Sequential);
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(start, len), sequential),
+            class,
+            policy,
+        )
+    }
+
+    fn write_req(start: u64, len: u64, class: RequestClass, policy: QosPolicy) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::write(BlockRange::new(start, len), false),
+            class,
+            policy,
+        )
+    }
+
+    #[test]
+    fn sequential_requests_bypass_the_cache() {
+        let mut c = cache(1000);
+        c.submit(read_req(
+            0,
+            500,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
+        assert_eq!(c.resident_blocks(), 0);
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::Bypassing), 500);
+        assert_eq!(s.class(RequestClass::Sequential).cache_hits, 0);
+        // All traffic went to the HDD, none to the SSD.
+        assert_eq!(s.ssd.unwrap().total_blocks(), 0);
+        assert_eq!(s.hdd.unwrap().blocks_read, 500);
+    }
+
+    #[test]
+    fn random_reads_are_cached_and_hit_on_reuse() {
+        let mut c = cache(1000);
+        for _ in 0..2 {
+            for i in 0..100u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+            }
+        }
+        let s = c.stats();
+        let counters = s.class(RequestClass::Random);
+        assert_eq!(counters.accessed_blocks, 200);
+        assert_eq!(counters.cache_hits, 100);
+        assert_eq!(s.action(CacheAction::ReadAllocation), 100);
+        assert_eq!(c.resident_blocks(), 100);
+        assert_eq!(s.priority(2).cache_hits, 100);
+    }
+
+    #[test]
+    fn selective_allocation_refuses_lower_priority_when_full_of_higher() {
+        let mut c = cache(10);
+        // Fill the cache with priority-2 blocks.
+        for i in 0..10u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+        }
+        assert_eq!(c.resident_blocks(), 10);
+        // A priority-4 block (lower priority) must not displace them.
+        c.submit(read_req(100, 1, RequestClass::Random, QosPolicy::priority(4)));
+        assert_eq!(c.resident_blocks(), 10);
+        assert!(c.stats().per_class["random"].accessed_blocks == 11);
+        assert_eq!(c.stats().action(CacheAction::Bypassing), 1);
+        // Every original block is still cached.
+        for i in 0..10u64 {
+            assert!(c.meta.contains(BlockAddr(i)));
+        }
+    }
+
+    #[test]
+    fn higher_priority_evicts_lower_priority_when_full() {
+        let mut c = cache(10);
+        for i in 0..10u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(4)));
+        }
+        // Priority-2 blocks displace the priority-4 residents.
+        for i in 100..105u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+        }
+        assert_eq!(c.resident_blocks(), 10);
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::Eviction), 5);
+        for i in 100..105u64 {
+            assert!(c.meta.contains(BlockAddr(i)));
+        }
+    }
+
+    #[test]
+    fn non_caching_eviction_demotes_cached_blocks() {
+        let mut c = cache(100);
+        c.submit(read_req(0, 10, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        assert_eq!(c.resident_blocks(), 10);
+        // Re-read with the eviction policy: blocks stay cached but move to
+        // the lowest group, so the next allocation displaces them first.
+        c.submit(read_req(
+            0,
+            10,
+            RequestClass::TemporaryDataTrim,
+            QosPolicy::NonCachingEviction,
+        ));
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::ReAllocation), 10);
+        // Fill the cache; the demoted blocks are evicted before others.
+        for i in 1000..1090u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(3)));
+        }
+        assert_eq!(c.resident_blocks(), 100);
+        for i in 1000..1090u64 {
+            assert!(c.meta.contains(BlockAddr(i)));
+        }
+        // One more allocation evicts a demoted block, not a random one.
+        c.submit(read_req(5000, 1, RequestClass::Random, QosPolicy::priority(3)));
+        let demoted_still_cached = (0..10u64).filter(|i| c.meta.contains(BlockAddr(*i))).count();
+        assert_eq!(demoted_still_cached, 9);
+    }
+
+    #[test]
+    fn trim_invalidates_cached_blocks_without_device_io() {
+        let mut c = cache(100);
+        c.submit(read_req(0, 50, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        assert_eq!(c.resident_blocks(), 50);
+        let hdd_before = c.stats().hdd.unwrap().total_requests();
+        c.trim(&TrimCommand::single(BlockRange::new(0u64, 50)));
+        assert_eq!(c.resident_blocks(), 0);
+        assert_eq!(c.stats().action(CacheAction::Trim), 50);
+        assert_eq!(c.stats().hdd.unwrap().total_requests(), hdd_before);
+        // Space is reusable.
+        c.submit(read_req(200, 60, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        assert_eq!(c.resident_blocks(), 60);
+    }
+
+    #[test]
+    fn write_buffer_flushes_when_threshold_exceeded() {
+        let mut c = cache(100); // write buffer limit = 10 blocks
+        assert_eq!(c.write_buffer_limit(), 10);
+        for i in 0..10u64 {
+            c.submit(write_req(i, 1, RequestClass::Update, QosPolicy::WriteBuffer));
+        }
+        assert_eq!(c.write_buffer_resident(), 10);
+        // The 11th buffered write exceeds the limit and triggers a flush.
+        c.submit(write_req(10, 1, RequestClass::Update, QosPolicy::WriteBuffer));
+        assert_eq!(c.write_buffer_resident(), 0);
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::WriteBufferFlush), 11);
+        assert_eq!(s.action(CacheAction::WriteAllocation), 11);
+        assert!(s.hdd.unwrap().blocks_written >= 11);
+    }
+
+    #[test]
+    fn write_buffer_wins_space_over_other_priorities() {
+        let mut c = cache(10);
+        // Fill with the *highest* regular priority.
+        for i in 0..10u64 {
+            c.submit(read_req(i, 1, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        }
+        // An update still gets buffered, displacing a priority-1 block.
+        c.submit(write_req(100, 1, RequestClass::Update, QosPolicy::WriteBuffer));
+        assert!(c.meta.contains(BlockAddr(100)));
+        assert_eq!(c.stats().action(CacheAction::Eviction), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_to_hdd() {
+        let mut c = cache(10);
+        for i in 0..10u64 {
+            c.submit(write_req(i, 1, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        }
+        let written_before = c.stats().hdd.unwrap().blocks_written;
+        // Force evictions with more priority-1 data.
+        for i in 100..105u64 {
+            c.submit(write_req(i, 1, RequestClass::TemporaryData, QosPolicy::priority(1)));
+        }
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::Eviction), 5);
+        assert_eq!(s.hdd.unwrap().blocks_written, written_before + 5);
+    }
+
+    #[test]
+    fn hit_on_cached_block_is_served_from_ssd() {
+        let mut c = cache(100);
+        c.submit(read_req(42, 1, RequestClass::Random, QosPolicy::priority(2)));
+        let ssd_before = c.stats().ssd.unwrap().blocks_read;
+        let hdd_before = c.stats().hdd.unwrap().blocks_read;
+        c.submit(read_req(42, 1, RequestClass::Random, QosPolicy::priority(2)));
+        let s = c.stats();
+        assert_eq!(s.ssd.unwrap().blocks_read, ssd_before + 1);
+        assert_eq!(s.hdd.unwrap().blocks_read, hdd_before);
+    }
+
+    #[test]
+    fn sequential_hit_does_not_disturb_layout() {
+        let mut c = cache(100);
+        c.submit(read_req(0, 2, RequestClass::Random, QosPolicy::priority(3)));
+        // Sequential scan over the same blocks: hits, but priorities stay 3.
+        c.submit(read_req(
+            0,
+            2,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
+        assert_eq!(c.meta.get(BlockAddr(0)).unwrap().priority, CachePriority(3));
+        assert_eq!(c.stats().class(RequestClass::Sequential).cache_hits, 2);
+        assert_eq!(c.stats().action(CacheAction::ReAllocation), 0);
+    }
+
+    #[test]
+    fn resident_blocks_never_exceed_capacity() {
+        let mut c = cache(64);
+        for i in 0..1000u64 {
+            let prio = 2 + (i % 5) as u8;
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(prio)));
+            assert!(c.resident_blocks() <= 64);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The hybrid storage system of the hStorage-DB paper, plus the baselines
+//! it is evaluated against.
+//!
+//! The paper's storage prototype (Section 5) is a two-level hierarchy: an
+//! SSD cache on top of HDDs, managed with *selective allocation* and
+//! *selective eviction* over per-priority LRU groups. Four storage
+//! configurations are used in the evaluation:
+//!
+//! * **HDD-only** — every request goes straight to the disk ([`passthrough`]),
+//! * **SSD-only** — the ideal case, everything served by the SSD ([`passthrough`]),
+//! * **LRU** — the SSD cache managed by a classification-blind LRU
+//!   ([`lru_cache`]),
+//! * **hStorage-DB** — the SSD cache managed by the priority mechanism
+//!   ([`hybrid`]).
+//!
+//! All four implement the [`StorageSystem`] trait so the query engine can
+//! drive them interchangeably.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allocator;
+pub mod config;
+pub mod hybrid;
+pub mod lru;
+pub mod lru_cache;
+pub mod metadata;
+pub mod passthrough;
+pub mod priority_group;
+pub mod stats;
+pub mod system;
+pub mod trace;
+
+pub use config::{StorageConfig, StorageConfigKind};
+pub use hybrid::HybridCache;
+pub use lru_cache::LruCache;
+pub use passthrough::{HddOnly, SsdOnly};
+pub use stats::{CacheAction, CacheStats, ClassCounters};
+pub use system::StorageSystem;
+pub use trace::{Trace, TraceEvent, TraceRecorder};

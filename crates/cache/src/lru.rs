@@ -1,0 +1,293 @@
+//! An order-preserving LRU list with O(1) touch/insert/remove.
+//!
+//! Each priority group (Section 5.1) and the baseline LRU cache are built
+//! on this structure. It is an intrusive doubly-linked list stored in a
+//! slab, indexed by a hash map from key to slab slot.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used ordering over a set of keys.
+///
+/// The *front* of the list is the most recently used key; the *back* is the
+/// least recently used and is the eviction candidate.
+#[derive(Debug, Clone)]
+pub struct LruList<K: Eq + Hash + Clone> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruList<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruList<K> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts `key` at the most-recently-used position. If the key is
+    /// already present it is moved to the front. Returns `true` if the key
+    /// was newly inserted.
+    pub fn insert_mru(&mut self, key: K) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.link_front(slot);
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = Node {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_front(slot);
+        true
+    }
+
+    /// Marks `key` as most recently used. Returns `false` if the key is not
+    /// present.
+    pub fn touch(&mut self, key: &K) -> bool {
+        match self.index.get(key) {
+            Some(&slot) => {
+                self.unlink(slot);
+                self.link_front(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the least recently used key.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let key = self.nodes[slot].key.clone();
+        self.unlink(slot);
+        self.free.push(slot);
+        self.index.remove(&key);
+        Some(key)
+    }
+
+    /// Returns (without removing) the least recently used key.
+    pub fn peek_lru(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.tail].key)
+        }
+    }
+
+    /// Removes a specific key. Returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.index.remove(key) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates keys from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = &K> {
+        LruIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+}
+
+struct LruIter<'a, K: Eq + Hash + Clone> {
+    list: &'a LruList<K>,
+    cur: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone> Iterator for LruIter<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next;
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_pop_order() {
+        let mut l = LruList::new();
+        l.insert_mru(1);
+        l.insert_mru(2);
+        l.insert_mru(3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(3));
+        assert_eq!(l.pop_lru(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new();
+        l.insert_mru(1);
+        l.insert_mru(2);
+        l.insert_mru(3);
+        assert!(l.touch(&1));
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(3));
+        assert_eq!(l.pop_lru(), Some(1));
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut l: LruList<u32> = LruList::new();
+        assert!(!l.touch(&42));
+    }
+
+    #[test]
+    fn reinsert_moves_to_front_without_duplicating() {
+        let mut l = LruList::new();
+        assert!(l.insert_mru(1));
+        assert!(l.insert_mru(2));
+        assert!(!l.insert_mru(1));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(1));
+    }
+
+    #[test]
+    fn remove_specific_key() {
+        let mut l = LruList::new();
+        l.insert_mru("a");
+        l.insert_mru("b");
+        l.insert_mru("c");
+        assert!(l.remove(&"b"));
+        assert!(!l.remove(&"b"));
+        assert_eq!(l.pop_lru(), Some("a"));
+        assert_eq!(l.pop_lru(), Some("c"));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut l = LruList::new();
+        l.insert_mru(7);
+        assert_eq!(l.peek_lru(), Some(&7));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut l = LruList::new();
+        for i in 0..5 {
+            l.insert_mru(i);
+        }
+        l.touch(&0);
+        let order: Vec<i32> = l.iter_mru().copied().collect();
+        assert_eq!(order, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut l = LruList::new();
+        for i in 0..100 {
+            l.insert_mru(i);
+        }
+        for i in 0..100 {
+            assert!(l.remove(&i));
+        }
+        for i in 100..200 {
+            l.insert_mru(i);
+        }
+        // The slab should not have grown beyond the peak live population.
+        assert!(l.nodes.len() <= 100);
+        assert_eq!(l.len(), 100);
+    }
+}

@@ -1,0 +1,284 @@
+//! The classification-blind LRU baseline.
+//!
+//! This emulates "the classical approach when cache is managed by the LRU
+//! algorithm" used throughout the paper's evaluation: every miss allocates
+//! cache space regardless of request type, all cached blocks live in a
+//! single LRU stack, and the LRU block is evicted when space is needed.
+//!
+//! Statistics are still broken down by request class and by the priority
+//! the request *would* have carried, to reproduce the lower halves of
+//! Tables 4, 6 and 7 (the paper notes that "although we record statistics
+//! separately for requests of different priorities, all requests are
+//! managed through a single LRU stack").
+
+use crate::allocator::SlotAllocator;
+use crate::lru::LruList;
+use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
+use crate::stats::{CacheAction, CacheStats};
+use crate::system::StorageSystem;
+use hstorage_storage::{
+    BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, IoRequest,
+    PolicyConfig, SimClock, SsdDevice, StorageDevice, TrimCommand,
+};
+use std::time::Duration;
+
+/// SSD cache over HDD managed by plain LRU.
+pub struct LruCache {
+    policy: PolicyConfig,
+    cache_capacity: u64,
+    clock: SimClock,
+    ssd: SsdDevice,
+    hdd: HddDevice,
+    meta: CacheMetadata,
+    lru: LruList<BlockAddr>,
+    alloc: SlotAllocator,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates an LRU-managed cache of `cache_capacity_blocks` blocks with
+    /// the paper's device models.
+    pub fn new(cache_capacity_blocks: u64) -> Self {
+        let clock = SimClock::new();
+        Self::with_devices(
+            cache_capacity_blocks,
+            SsdDevice::intel_320(clock.clone()),
+            HddDevice::cheetah(clock.clone()),
+            clock,
+        )
+    }
+
+    /// Creates an LRU cache over explicitly constructed devices.
+    pub fn with_devices(
+        cache_capacity_blocks: u64,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        LruCache {
+            policy: PolicyConfig::paper_default(),
+            cache_capacity: cache_capacity_blocks,
+            clock,
+            ssd,
+            hdd,
+            meta: CacheMetadata::new(),
+            lru: LruList::new(),
+            alloc: SlotAllocator::new(cache_capacity_blocks),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Cache capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    fn evict_one(&mut self) -> u64 {
+        let victim = self.lru.pop_lru().expect("evicting from an empty cache");
+        let entry = self.meta.remove(victim).expect("LRU/metadata mismatch");
+        self.stats.record_action(CacheAction::Eviction, 1);
+        self.alloc.release(entry.pbn);
+        if entry.is_dirty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn allocate_slot(&mut self) -> (u64, u64) {
+        let mut dirty_writebacks = 0;
+        loop {
+            if let Some(pbn) = self.alloc.allocate() {
+                return (pbn, dirty_writebacks);
+            }
+            dirty_writebacks += self.evict_one();
+        }
+    }
+}
+
+impl StorageSystem for LruCache {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn submit(&mut self, req: ClassifiedRequest) {
+        let prio = self.policy.resolve(req.policy);
+        let mut hits = 0u64;
+        let mut ssd_read = 0u64;
+        let mut ssd_write = 0u64;
+        let mut hdd_read = 0u64;
+        let mut hdd_write = 0u64;
+
+        for lbn in req.io.range.iter() {
+            if self.meta.contains(lbn) {
+                hits += 1;
+                self.lru.touch(&lbn);
+                self.stats.record_action(CacheAction::CacheHit, 1);
+                match req.io.direction {
+                    Direction::Read => ssd_read += 1,
+                    Direction::Write => {
+                        ssd_write += 1;
+                        if let Some(e) = self.meta.get_mut(lbn) {
+                            e.state = BlockState::Dirty;
+                        }
+                    }
+                }
+            } else {
+                // LRU admits everything.
+                let (pbn, writebacks) = self.allocate_slot();
+                hdd_write += writebacks;
+                let state = match req.io.direction {
+                    Direction::Read => {
+                        self.stats.record_action(CacheAction::ReadAllocation, 1);
+                        hdd_read += 1;
+                        ssd_write += 1;
+                        BlockState::Clean
+                    }
+                    Direction::Write => {
+                        self.stats.record_action(CacheAction::WriteAllocation, 1);
+                        ssd_write += 1;
+                        BlockState::Dirty
+                    }
+                };
+                self.meta.insert(
+                    lbn,
+                    CacheEntry {
+                        pbn,
+                        // The LRU cache has a single stack; the recorded
+                        // priority is informational only.
+                        priority: CachePriority(prio.0),
+                        state,
+                    },
+                );
+                self.lru.insert_mru(lbn);
+            }
+        }
+
+        let blocks = req.blocks();
+        self.stats.record_class(req.class, blocks, hits);
+        self.stats.record_priority(prio.0, blocks, hits);
+
+        let seq = req.io.sequential;
+        let start = req.io.range.start;
+        if hdd_read > 0 {
+            self.hdd
+                .serve(&IoRequest::read(BlockRange::new(start, hdd_read), seq));
+        }
+        if hdd_write > 0 {
+            self.hdd
+                .serve(&IoRequest::write(BlockRange::new(start, hdd_write), false));
+        }
+        if ssd_read > 0 {
+            self.ssd
+                .serve(&IoRequest::read(BlockRange::new(start, ssd_read), seq));
+        }
+        if ssd_write > 0 {
+            self.ssd
+                .serve(&IoRequest::write(BlockRange::new(start, ssd_write), seq));
+        }
+        self.stats.resident_blocks = self.meta.len() as u64;
+    }
+
+    fn trim(&mut self, _cmd: &TrimCommand) {
+        // A legacy (non-DSS) storage system ignores TRIM semantics for cache
+        // management: stale temporary data stays cached until LRU ages it
+        // out. This is precisely the behaviour the paper contrasts against.
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.ssd = Some(self.ssd.stats());
+        s.hdd = Some(self.hdd.stats());
+        s.resident_blocks = self.meta.len() as u64;
+        s
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.ssd.reset_stats();
+        self.hdd.reset_stats();
+    }
+
+    fn resident_blocks(&self) -> u64 {
+        self.meta.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::{QosPolicy, RequestClass};
+
+    fn read_req(start: u64, len: u64, class: RequestClass) -> ClassifiedRequest {
+        let sequential = matches!(class, RequestClass::Sequential);
+        let policy = match class {
+            RequestClass::Sequential => QosPolicy::NonCachingNonEviction,
+            RequestClass::TemporaryData => QosPolicy::priority(1),
+            _ => QosPolicy::priority(2),
+        };
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(start, len), sequential),
+            class,
+            policy,
+        )
+    }
+
+    #[test]
+    fn lru_admits_sequential_data() {
+        let mut c = LruCache::new(100);
+        c.submit(read_req(0, 100, RequestClass::Sequential));
+        // Unlike hStorage-DB, the scan fills the cache.
+        assert_eq!(c.resident_blocks(), 100);
+        // And pays SSD write traffic for the allocation.
+        assert_eq!(c.stats().ssd.unwrap().blocks_written, 100);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_regardless_of_type() {
+        let mut c = LruCache::new(10);
+        // Hot random blocks...
+        for i in 0..10u64 {
+            c.submit(read_req(i, 1, RequestClass::Random));
+        }
+        // ...are wiped out by a big sequential scan (cache pollution).
+        c.submit(read_req(1000, 10, RequestClass::Sequential));
+        for i in 0..10u64 {
+            assert!(!c.meta.contains(BlockAddr(i)));
+        }
+    }
+
+    #[test]
+    fn lru_hits_on_reuse() {
+        let mut c = LruCache::new(50);
+        for _ in 0..3 {
+            for i in 0..20u64 {
+                c.submit(read_req(i, 1, RequestClass::Random));
+            }
+        }
+        let counters = c.stats().class(RequestClass::Random);
+        assert_eq!(counters.accessed_blocks, 60);
+        assert_eq!(counters.cache_hits, 40);
+    }
+
+    #[test]
+    fn trim_is_ignored() {
+        let mut c = LruCache::new(50);
+        c.submit(read_req(0, 20, RequestClass::TemporaryData));
+        c.trim(&TrimCommand::single(BlockRange::new(0u64, 20)));
+        // Stale temporary data stays resident.
+        assert_eq!(c.resident_blocks(), 20);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = LruCache::new(32);
+        for i in 0..500u64 {
+            c.submit(read_req(i, 1, RequestClass::Random));
+            assert!(c.resident_blocks() <= 32);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cache metadata (Section 5.2).
+//!
+//! The storage system tracks cached blocks with a hash table keyed by the
+//! logical block number. Each entry is `< lbn, (pbn, prio) >` in the paper;
+//! we additionally record the clean/dirty state that Section 5.1 describes
+//! for valid blocks.
+
+use hstorage_storage::{BlockAddr, CachePriority};
+use std::collections::HashMap;
+
+/// State of a valid cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// An identical copy exists on the second-level device.
+    Clean,
+    /// The cached copy is newer than the second-level copy.
+    Dirty,
+}
+
+/// Metadata for one cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Physical block number inside the SSD cache.
+    pub pbn: u64,
+    /// Current caching priority (which priority group the block lives in).
+    pub priority: CachePriority,
+    /// Clean or dirty.
+    pub state: BlockState,
+}
+
+impl CacheEntry {
+    /// Whether the entry is dirty.
+    pub fn is_dirty(&self) -> bool {
+        self.state == BlockState::Dirty
+    }
+}
+
+/// The lookup table `lbn → (pbn, prio, state)`.
+#[derive(Debug, Default, Clone)]
+pub struct CacheMetadata {
+    entries: HashMap<BlockAddr, CacheEntry>,
+}
+
+impl CacheMetadata {
+    /// Creates an empty metadata table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached (valid) blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, lbn: BlockAddr) -> Option<&CacheEntry> {
+        self.entries.get(&lbn)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, lbn: BlockAddr) -> Option<&mut CacheEntry> {
+        self.entries.get_mut(&lbn)
+    }
+
+    /// Whether a block is cached.
+    pub fn contains(&self, lbn: BlockAddr) -> bool {
+        self.entries.contains_key(&lbn)
+    }
+
+    /// Inserts (or replaces) the entry for a block.
+    pub fn insert(&mut self, lbn: BlockAddr, entry: CacheEntry) {
+        self.entries.insert(lbn, entry);
+    }
+
+    /// Removes and returns the entry for a block.
+    pub fn remove(&mut self, lbn: BlockAddr) -> Option<CacheEntry> {
+        self.entries.remove(&lbn)
+    }
+
+    /// Iterates all `(lbn, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &CacheEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of dirty blocks currently cached.
+    pub fn dirty_count(&self) -> usize {
+        self.entries.values().filter(|e| e.is_dirty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pbn: u64, prio: u8, dirty: bool) -> CacheEntry {
+        CacheEntry {
+            pbn,
+            priority: CachePriority(prio),
+            state: if dirty {
+                BlockState::Dirty
+            } else {
+                BlockState::Clean
+            },
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut m = CacheMetadata::new();
+        assert!(m.is_empty());
+        m.insert(BlockAddr(5), entry(0, 2, false));
+        assert!(m.contains(BlockAddr(5)));
+        assert_eq!(m.get(BlockAddr(5)).unwrap().pbn, 0);
+        assert_eq!(m.len(), 1);
+        let removed = m.remove(BlockAddr(5)).unwrap();
+        assert_eq!(removed.priority, CachePriority(2));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn dirty_count_tracks_state() {
+        let mut m = CacheMetadata::new();
+        m.insert(BlockAddr(1), entry(0, 1, true));
+        m.insert(BlockAddr(2), entry(1, 1, false));
+        m.insert(BlockAddr(3), entry(2, 3, true));
+        assert_eq!(m.dirty_count(), 2);
+        m.get_mut(BlockAddr(1)).unwrap().state = BlockState::Clean;
+        assert_eq!(m.dirty_count(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_existing_entry() {
+        let mut m = CacheMetadata::new();
+        m.insert(BlockAddr(9), entry(10, 4, false));
+        m.insert(BlockAddr(9), entry(11, 2, true));
+        let e = m.get(BlockAddr(9)).unwrap();
+        assert_eq!(e.pbn, 11);
+        assert_eq!(e.priority, CachePriority(2));
+        assert!(e.is_dirty());
+        assert_eq!(m.len(), 1);
+    }
+}

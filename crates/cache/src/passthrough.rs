@@ -1,0 +1,175 @@
+//! Single-device baselines: HDD-only (the paper's baseline case) and
+//! SSD-only (the paper's ideal case).
+//!
+//! Both ignore the DSS classification entirely — they are legacy block
+//! devices.
+
+use crate::stats::CacheStats;
+use crate::system::StorageSystem;
+use hstorage_storage::{
+    ClassifiedRequest, HddDevice, SimClock, SsdDevice, StorageDevice, TrimCommand,
+};
+use std::time::Duration;
+
+/// Every request is served by the hard disk.
+pub struct HddOnly {
+    clock: SimClock,
+    hdd: HddDevice,
+    stats: CacheStats,
+}
+
+impl HddOnly {
+    /// Creates an HDD-only configuration with the paper's disk model.
+    pub fn new() -> Self {
+        let clock = SimClock::new();
+        HddOnly {
+            hdd: HddDevice::cheetah(clock.clone()),
+            clock,
+            stats: CacheStats::new(),
+        }
+    }
+}
+
+impl Default for HddOnly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StorageSystem for HddOnly {
+    fn name(&self) -> &str {
+        "HDD-only"
+    }
+
+    fn submit(&mut self, req: ClassifiedRequest) {
+        self.stats.record_class(req.class, req.blocks(), 0);
+        self.hdd.serve(&req.io);
+    }
+
+    fn trim(&mut self, _cmd: &TrimCommand) {}
+
+    fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.hdd = Some(self.hdd.stats());
+        s
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.hdd.reset_stats();
+    }
+}
+
+/// Every request is served by the SSD — the ideal case of the evaluation.
+pub struct SsdOnly {
+    clock: SimClock,
+    ssd: SsdDevice,
+    stats: CacheStats,
+}
+
+impl SsdOnly {
+    /// Creates an SSD-only configuration with the Intel 320 model.
+    pub fn new() -> Self {
+        let clock = SimClock::new();
+        SsdOnly {
+            ssd: SsdDevice::intel_320(clock.clone()),
+            clock,
+            stats: CacheStats::new(),
+        }
+    }
+}
+
+impl Default for SsdOnly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StorageSystem for SsdOnly {
+    fn name(&self) -> &str {
+        "SSD-only"
+    }
+
+    fn submit(&mut self, req: ClassifiedRequest) {
+        self.stats.record_class(req.class, req.blocks(), 0);
+        self.ssd.serve(&req.io);
+    }
+
+    fn trim(&mut self, _cmd: &TrimCommand) {}
+
+    fn stats(&self) -> CacheStats {
+        let mut s = self.stats.clone();
+        s.ssd = Some(self.ssd.stats());
+        s
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.ssd.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::{BlockRange, IoRequest, QosPolicy, RequestClass};
+
+    fn rand_read(start: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(start, 1), false),
+            RequestClass::Random,
+            QosPolicy::priority(2),
+        )
+    }
+
+    fn seq_read(start: u64, len: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(start, len), true),
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        )
+    }
+
+    #[test]
+    fn ssd_only_much_faster_for_random() {
+        let mut hdd = HddOnly::new();
+        let mut ssd = SsdOnly::new();
+        for i in 0..200u64 {
+            hdd.submit(rand_read(i * 10_000));
+            ssd.submit(rand_read(i * 10_000));
+        }
+        assert!(hdd.now() > ssd.now() * 20);
+    }
+
+    #[test]
+    fn comparable_for_sequential() {
+        let mut hdd = HddOnly::new();
+        let mut ssd = SsdOnly::new();
+        for i in 0..100u64 {
+            hdd.submit(seq_read(i * 128, 128));
+            ssd.submit(seq_read(i * 128, 128));
+        }
+        let ratio = hdd.now().as_secs_f64() / ssd.now().as_secs_f64();
+        assert!(ratio < 3.0, "HDD/SSD sequential ratio = {ratio}");
+    }
+
+    #[test]
+    fn stats_record_classes_without_hits() {
+        let mut hdd = HddOnly::new();
+        hdd.submit(seq_read(0, 64));
+        hdd.submit(rand_read(1_000));
+        let s = hdd.stats();
+        assert_eq!(s.class(RequestClass::Sequential).accessed_blocks, 64);
+        assert_eq!(s.class(RequestClass::Random).accessed_blocks, 1);
+        assert_eq!(s.totals().cache_hits, 0);
+        assert_eq!(hdd.resident_blocks(), 0);
+    }
+}

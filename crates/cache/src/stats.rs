@@ -1,0 +1,186 @@
+//! Cache statistics.
+//!
+//! The paper's evaluation reports, per query and per storage configuration,
+//! the number of accessed blocks and cache hits broken down by request
+//! class (Tables 4, 7) and by assigned priority (Tables 5, 6). These
+//! counters are collected here, along with counts of the six cache actions
+//! of Section 5.1.
+
+use hstorage_storage::{DeviceStats, RequestClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The six actions a cache may take for a request (Section 5.1), plus the
+/// write-buffer flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CacheAction {
+    /// Blocks already in cache.
+    CacheHit,
+    /// Blocks read from the second level into the cache.
+    ReadAllocation,
+    /// Blocks written into the cache.
+    WriteAllocation,
+    /// Blocks transferred directly between OS and second level.
+    Bypassing,
+    /// Cached blocks moved to a different priority group.
+    ReAllocation,
+    /// Cached blocks removed to make room.
+    Eviction,
+    /// Cached blocks invalidated by TRIM.
+    Trim,
+    /// Dirty write-buffer contents flushed to the second level.
+    WriteBufferFlush,
+}
+
+/// Blocks accessed vs blocks served from cache, the unit of every
+/// hit-ratio table in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Number of blocks accessed.
+    pub accessed_blocks: u64,
+    /// Of those, blocks that were cache hits.
+    pub cache_hits: u64,
+}
+
+impl ClassCounters {
+    /// Cache hit ratio in `[0, 1]`; zero when nothing was accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accessed_blocks == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.accessed_blocks as f64
+        }
+    }
+
+    /// Cache misses.
+    pub fn misses(&self) -> u64 {
+        self.accessed_blocks - self.cache_hits
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &ClassCounters) {
+        self.accessed_blocks += other.accessed_blocks;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// Full statistics snapshot of a storage system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accessed blocks / hits per request class.
+    pub per_class: BTreeMap<String, ClassCounters>,
+    /// Accessed blocks / hits per assigned caching priority (hStorage-DB
+    /// configurations only; the LRU baseline records the priority the
+    /// request *would* have had, to reproduce Table 6).
+    pub per_priority: BTreeMap<u8, ClassCounters>,
+    /// Counts of each cache action, in blocks.
+    pub actions: BTreeMap<String, u64>,
+    /// Blocks currently resident in the cache.
+    pub resident_blocks: u64,
+    /// Statistics of the first-level (SSD) device, if present.
+    pub ssd: Option<DeviceStats>,
+    /// Statistics of the second-level (HDD) device, if present.
+    pub hdd: Option<DeviceStats>,
+}
+
+impl CacheStats {
+    /// Creates an empty statistics snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `blocks` accessed of class `class`, of which `hits` were
+    /// served from cache.
+    pub fn record_class(&mut self, class: RequestClass, blocks: u64, hits: u64) {
+        let c = self.per_class.entry(class.label().to_string()).or_default();
+        c.accessed_blocks += blocks;
+        c.cache_hits += hits;
+    }
+
+    /// Records `blocks` accessed at priority `prio`, of which `hits` were
+    /// served from cache.
+    pub fn record_priority(&mut self, prio: u8, blocks: u64, hits: u64) {
+        let c = self.per_priority.entry(prio).or_default();
+        c.accessed_blocks += blocks;
+        c.cache_hits += hits;
+    }
+
+    /// Adds `blocks` to the counter of `action`.
+    pub fn record_action(&mut self, action: CacheAction, blocks: u64) {
+        *self.actions.entry(format!("{action:?}")).or_default() += blocks;
+    }
+
+    /// Counter for one request class (zero if never seen).
+    pub fn class(&self, class: RequestClass) -> ClassCounters {
+        self.per_class
+            .get(class.label())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Counter for one priority (zero if never seen).
+    pub fn priority(&self, prio: u8) -> ClassCounters {
+        self.per_priority.get(&prio).copied().unwrap_or_default()
+    }
+
+    /// Count of one action (zero if never taken).
+    pub fn action(&self, action: CacheAction) -> u64 {
+        self.actions
+            .get(&format!("{action:?}"))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Totals across all request classes.
+    pub fn totals(&self) -> ClassCounters {
+        let mut t = ClassCounters::default();
+        for c in self.per_class.values() {
+            t.merge(c);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_and_misses() {
+        let c = ClassCounters {
+            accessed_blocks: 200,
+            cache_hits: 50,
+        };
+        assert!((c.hit_ratio() - 0.25).abs() < 1e-9);
+        assert_eq!(c.misses(), 150);
+        assert_eq!(ClassCounters::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_and_query_by_class_and_priority() {
+        let mut s = CacheStats::new();
+        s.record_class(RequestClass::Random, 100, 90);
+        s.record_class(RequestClass::Random, 10, 0);
+        s.record_class(RequestClass::Sequential, 1000, 3);
+        s.record_priority(2, 100, 90);
+        s.record_priority(3, 10, 0);
+
+        assert_eq!(s.class(RequestClass::Random).accessed_blocks, 110);
+        assert_eq!(s.class(RequestClass::Random).cache_hits, 90);
+        assert_eq!(s.class(RequestClass::Sequential).cache_hits, 3);
+        assert_eq!(s.class(RequestClass::Update), ClassCounters::default());
+        assert_eq!(s.priority(2).cache_hits, 90);
+        assert_eq!(s.totals().accessed_blocks, 1110);
+    }
+
+    #[test]
+    fn actions_accumulate() {
+        let mut s = CacheStats::new();
+        s.record_action(CacheAction::Eviction, 5);
+        s.record_action(CacheAction::Eviction, 7);
+        s.record_action(CacheAction::Bypassing, 3);
+        assert_eq!(s.action(CacheAction::Eviction), 12);
+        assert_eq!(s.action(CacheAction::Bypassing), 3);
+        assert_eq!(s.action(CacheAction::CacheHit), 0);
+    }
+}

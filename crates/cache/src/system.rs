@@ -1,0 +1,40 @@
+//! The storage-system interface the DBMS storage manager talks to.
+
+use crate::stats::CacheStats;
+use hstorage_storage::{ClassifiedRequest, TrimCommand};
+use std::time::Duration;
+
+/// A complete storage configuration (devices + management policy) that can
+/// serve classified requests.
+///
+/// Implementations:
+/// * [`crate::hybrid::HybridCache`] — the hStorage-DB priority cache,
+/// * [`crate::lru_cache::LruCache`] — classification-blind LRU cache,
+/// * [`crate::passthrough::HddOnly`] / [`crate::passthrough::SsdOnly`] —
+///   single-device baselines.
+pub trait StorageSystem: Send {
+    /// Human-readable configuration name ("HDD-only", "LRU", …).
+    fn name(&self) -> &str;
+
+    /// Serves one classified request. Legacy configurations ignore the
+    /// classification; DSS-aware configurations use it for placement.
+    fn submit(&mut self, req: ClassifiedRequest);
+
+    /// Handles a TRIM command for dead LBA ranges.
+    fn trim(&mut self, cmd: &TrimCommand);
+
+    /// Statistics accumulated since construction or the last reset.
+    fn stats(&self) -> CacheStats;
+
+    /// Current simulated time of the storage system's clock.
+    fn now(&self) -> Duration;
+
+    /// Clears statistics counters (does not drop cache contents).
+    fn reset_stats(&mut self);
+
+    /// Number of blocks currently resident in the cache (0 for
+    /// single-device configurations).
+    fn resident_blocks(&self) -> u64 {
+        0
+    }
+}

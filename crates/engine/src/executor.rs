@@ -1,0 +1,608 @@
+//! The query executor.
+//!
+//! The executor turns a compiled [`RequestProgram`](crate::program::RequestProgram)
+//! into classified I/O against a [`StorageSystem`], going through the DBMS
+//! buffer pool first and assigning a QoS policy to every request via the
+//! policy assignment table at issue time.
+
+use crate::buffer_pool::BufferPool;
+use crate::catalog::Catalog;
+use crate::concurrency::ConcurrencyRegistry;
+use crate::plan::PlanTree;
+use crate::policy_table::PolicyAssignmentTable;
+use crate::program::{compile, CompileOptions, IoOp, RequestProgram};
+use crate::semantic::SemanticInfo;
+use crate::stats::QueryStats;
+use hstorage_cache::StorageSystem;
+use hstorage_storage::{
+    BlockAddr, BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, TrimCommand,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// DBMS buffer-pool capacity in blocks.
+    pub buffer_pool_blocks: u64,
+    /// CPU cost charged per block processed.
+    pub cpu_time_per_block: Duration,
+    /// Blocks per sequential read request.
+    pub seq_blocks_per_request: u64,
+    /// Blocks per temporary-data request.
+    pub temp_blocks_per_request: u64,
+    /// Seed for the deterministic random-access generator.
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            buffer_pool_blocks: 4096,
+            cpu_time_per_block: Duration::from_micros(12),
+            seq_blocks_per_request: 64,
+            temp_blocks_per_request: 32,
+            seed: 0x5707_AC_E_DB,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The compile options implied by this configuration.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            seq_blocks_per_request: self.seq_blocks_per_request,
+            temp_blocks_per_request: self.temp_blocks_per_request,
+        }
+    }
+}
+
+/// Executes query plans against a storage system.
+pub struct QueryExecutor {
+    policy_table: PolicyAssignmentTable,
+    registry: ConcurrencyRegistry,
+    buffer_pool: BufferPool,
+    config: ExecutorConfig,
+    rng: SmallRng,
+}
+
+impl QueryExecutor {
+    /// Creates an executor with its own (single-query) registry.
+    pub fn new(config: ExecutorConfig, policy: PolicyConfig) -> Self {
+        Self::with_registry(config, policy, ConcurrencyRegistry::new())
+    }
+
+    /// Creates an executor that shares `registry` with other executors
+    /// (Rule 5: concurrent queries must agree on priorities).
+    pub fn with_registry(
+        config: ExecutorConfig,
+        policy: PolicyConfig,
+        registry: ConcurrencyRegistry,
+    ) -> Self {
+        QueryExecutor {
+            policy_table: PolicyAssignmentTable::new(policy),
+            registry,
+            buffer_pool: BufferPool::new(config.buffer_pool_blocks),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The shared concurrency registry.
+    pub fn registry(&self) -> &ConcurrencyRegistry {
+        &self.registry
+    }
+
+    /// The policy assignment table.
+    pub fn policy_table(&self) -> &PolicyAssignmentTable {
+        &self.policy_table
+    }
+
+    /// The DBMS buffer pool.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.buffer_pool
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Clears the buffer pool (used between independent experiment runs).
+    pub fn clear_buffer_pool(&mut self) {
+        self.buffer_pool.clear();
+    }
+
+    /// Compiles a plan against the catalog.
+    pub fn compile(&self, plan: &PlanTree, catalog: &mut Catalog) -> RequestProgram {
+        compile(plan, catalog, self.config.compile_options())
+    }
+
+    /// Compiles and runs one query to completion, registering it with the
+    /// concurrency registry for its duration.
+    pub fn run_query(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &mut Catalog,
+        storage: &mut dyn StorageSystem,
+    ) -> QueryStats {
+        let program = self.compile(plan, catalog);
+        let ticket = self.registry.register_query(plan);
+        let mut stats = QueryStats::new(&program.name);
+        let io_start = storage.now();
+        for op in &program.ops {
+            self.execute_op(op, program.level_bounds, catalog, storage, &mut stats);
+        }
+        self.registry.unregister_query(plan, ticket);
+        finalize(&mut stats, io_start, storage);
+        stats
+    }
+
+    /// Executes one operation of a compiled program. Used directly by the
+    /// concurrent-workload driver; most callers want [`Self::run_query`].
+    pub fn execute_op(
+        &mut self,
+        op: &IoOp,
+        level_bounds: (u32, u32),
+        catalog: &mut Catalog,
+        storage: &mut dyn StorageSystem,
+        stats: &mut QueryStats,
+    ) {
+        match op {
+            IoOp::SequentialRead { info, range } => {
+                self.issue(storage, stats, info, level_bounds, *range, false, true);
+                self.charge_cpu(stats, range.len);
+            }
+            IoOp::IndexProbe {
+                index_info,
+                index_hot,
+                table_info,
+                table_hot,
+            } => {
+                let index_block = self.pick(index_hot);
+                let table_block = self.pick(table_hot);
+                self.random_block_access(storage, stats, index_info, level_bounds, index_block);
+                self.random_block_access(storage, stats, table_info, level_bounds, table_block);
+                self.charge_cpu(stats, 2);
+            }
+            IoOp::TempWrite { info, range } => {
+                self.issue(storage, stats, info, level_bounds, *range, true, true);
+                self.charge_cpu(stats, range.len);
+            }
+            IoOp::TempRead { info, range } => {
+                self.issue(storage, stats, info, level_bounds, *range, false, true);
+                self.charge_cpu(stats, range.len);
+            }
+            IoOp::TempDelete { info, range, oid } => {
+                // The deletion itself is a metadata operation: the DBMS
+                // notifies the storage system that the blocks are dead. In
+                // hStorage-DB this becomes a TRIM (or the "non-caching and
+                // eviction" scan workaround); legacy systems ignore it.
+                stats.record_request(info.request_class(), range.len);
+                storage.trim(&TrimCommand::single(*range));
+                for block in range.iter() {
+                    self.buffer_pool.invalidate(block);
+                }
+                catalog.drop_temp(*oid);
+            }
+            IoOp::UpdateWrite { info, table_range } => {
+                let block = self.pick(table_range);
+                let policy = self
+                    .policy_table
+                    .assign(info, &self.registry, level_bounds);
+                let io = IoRequest::write(BlockRange::new(block, 1), false);
+                stats.record_request(info.request_class(), 1);
+                storage.submit(ClassifiedRequest::new(io, info.request_class(), policy));
+                self.buffer_pool.invalidate(block);
+                self.charge_cpu(stats, 1);
+            }
+        }
+    }
+
+    /// One random single-block read that goes through the buffer pool.
+    fn random_block_access(
+        &mut self,
+        storage: &mut dyn StorageSystem,
+        stats: &mut QueryStats,
+        info: &SemanticInfo,
+        level_bounds: (u32, u32),
+        block: BlockAddr,
+    ) {
+        if self.buffer_pool.access(block, true) {
+            stats.buffer_pool_hits += 1;
+            return;
+        }
+        stats.buffer_pool_misses += 1;
+        self.issue(
+            storage,
+            stats,
+            info,
+            level_bounds,
+            BlockRange::new(block, 1),
+            false,
+            false,
+        );
+    }
+
+    /// Issues one classified storage request.
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        storage: &mut dyn StorageSystem,
+        stats: &mut QueryStats,
+        info: &SemanticInfo,
+        level_bounds: (u32, u32),
+        range: BlockRange,
+        is_write: bool,
+        sequential: bool,
+    ) {
+        let policy = self
+            .policy_table
+            .assign(info, &self.registry, level_bounds);
+        let io = if is_write {
+            IoRequest::write(range, sequential)
+        } else {
+            IoRequest::read(range, sequential)
+        };
+        let class = info.request_class();
+        stats.record_request(class, range.len);
+        storage.submit(ClassifiedRequest::new(io, class, policy));
+    }
+
+    fn pick(&mut self, range: &BlockRange) -> BlockAddr {
+        if range.len <= 1 {
+            return range.start;
+        }
+        BlockAddr(range.start.0 + self.rng.gen_range(0..range.len))
+    }
+
+    fn charge_cpu(&self, stats: &mut QueryStats, blocks: u64) {
+        stats.cpu_time += self.config.cpu_time_per_block * blocks as u32;
+    }
+}
+
+fn finalize(stats: &mut QueryStats, io_start: Duration, storage: &dyn StorageSystem) {
+    stats.io_time = storage.now().saturating_sub(io_start);
+    stats.elapsed = stats.io_time + stats.cpu_time;
+}
+
+/// Internal state of one query inside the concurrent driver.
+struct ActiveQuery {
+    plan: PlanTree,
+    ticket: crate::concurrency::QueryTicket,
+    program: RequestProgram,
+    cursor: usize,
+    stats: QueryStats,
+    io_start: Duration,
+}
+
+/// One stream of queries for the concurrent driver.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream name ("stream-1", "update-stream", …).
+    pub name: String,
+    /// Queries to run, in order.
+    pub queries: Vec<PlanTree>,
+}
+
+/// The result of one query completed by the concurrent driver.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    /// The stream the query belonged to.
+    pub stream: String,
+    /// Execution statistics. `elapsed` is the wall-clock (simulated) time
+    /// between the query's first and last operation, so it includes the
+    /// interference of the other streams — the quantity Figure 12b reports.
+    pub stats: QueryStats,
+}
+
+/// Runs several query streams concurrently against one storage system.
+///
+/// The driver interleaves the streams' compiled programs `ops_per_slice`
+/// operations at a time, which models concurrent query execution over a
+/// shared storage system with a shared DBMS buffer pool. All queries are
+/// registered with the executor's concurrency registry for their duration,
+/// so Rule 5 governs priority assignment.
+pub fn run_concurrent(
+    executor: &mut QueryExecutor,
+    streams: &[StreamSpec],
+    catalog: &mut Catalog,
+    storage: &mut dyn StorageSystem,
+    ops_per_slice: usize,
+) -> Vec<CompletedQuery> {
+    assert!(ops_per_slice > 0, "ops_per_slice must be positive");
+    let mut pending: Vec<std::collections::VecDeque<PlanTree>> = streams
+        .iter()
+        .map(|s| s.queries.iter().cloned().collect())
+        .collect();
+    let mut active: Vec<Option<ActiveQuery>> = streams.iter().map(|_| None).collect();
+    let mut completed = Vec::new();
+
+    loop {
+        let mut any_work = false;
+        for (idx, stream) in streams.iter().enumerate() {
+            // Start the next query of this stream if none is active.
+            if active[idx].is_none() {
+                if let Some(plan) = pending[idx].pop_front() {
+                    let program = executor.compile(&plan, catalog);
+                    let ticket = executor.registry.register_query(&plan);
+                    let stats = QueryStats::new(&program.name);
+                    active[idx] = Some(ActiveQuery {
+                        plan,
+                        ticket,
+                        program,
+                        cursor: 0,
+                        stats,
+                        io_start: storage.now(),
+                    });
+                }
+            }
+            let Some(query) = active[idx].as_mut() else {
+                continue;
+            };
+            any_work = true;
+
+            let end = (query.cursor + ops_per_slice).min(query.program.ops.len());
+            // Borrow the ops out of the program to appease the borrow
+            // checker while calling back into the executor.
+            let ops: Vec<IoOp> = query.program.ops[query.cursor..end].to_vec();
+            let bounds = query.program.level_bounds;
+            for op in &ops {
+                executor.execute_op(op, bounds, catalog, storage, &mut query.stats);
+            }
+            query.cursor = end;
+
+            if query.cursor >= query.program.ops.len() {
+                let mut done = active[idx].take().expect("query was active");
+                executor
+                    .registry
+                    .unregister_query(&done.plan, done.ticket);
+                finalize(&mut done.stats, done.io_start, storage);
+                completed.push(CompletedQuery {
+                    stream: stream.name.clone(),
+                    stats: done.stats,
+                });
+            }
+        }
+        if !any_work {
+            break;
+        }
+    }
+    completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ObjectKind;
+    use crate::plan::{Access, OperatorKind, PlanNode};
+    use hstorage_cache::{HybridCache, StorageConfig, StorageConfigKind};
+    use hstorage_storage::{RequestClass, QosPolicy};
+
+    fn small_catalog() -> (Catalog, crate::catalog::ObjectId, crate::catalog::ObjectId) {
+        let mut cat = Catalog::new();
+        let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 2_000));
+        let index = cat.register("idx_orders", ObjectKind::Index, BlockRange::new(2_000u64, 200));
+        cat.set_temp_region(BlockRange::new(50_000u64, 20_000));
+        (cat, table, index)
+    }
+
+    fn seq_plan(table: crate::catalog::ObjectId) -> PlanTree {
+        PlanTree::new(
+            "seq",
+            PlanNode::node(
+                OperatorKind::Aggregate,
+                Access::None,
+                vec![PlanNode::leaf(
+                    OperatorKind::SeqScan,
+                    Access::SeqScan { table, passes: 1 },
+                )],
+            ),
+        )
+    }
+
+    fn random_plan(
+        table: crate::catalog::ObjectId,
+        index: crate::catalog::ObjectId,
+        lookups: u64,
+    ) -> PlanTree {
+        PlanTree::new(
+            "rand",
+            PlanNode::leaf(
+                OperatorKind::IndexScan,
+                Access::IndexScan {
+                    index,
+                    table,
+                    lookups,
+                    index_hot_fraction: 0.5,
+                    table_hot_fraction: 0.2,
+                },
+            ),
+        )
+    }
+
+    fn executor() -> QueryExecutor {
+        let mut cfg = ExecutorConfig::default();
+        cfg.buffer_pool_blocks = 128;
+        QueryExecutor::new(cfg, PolicyConfig::paper_default())
+    }
+
+    #[test]
+    fn sequential_query_issues_only_sequential_requests() {
+        let (mut cat, table, _) = small_catalog();
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 1_000).build();
+        let stats = exec.run_query(&seq_plan(table), &mut cat, storage.as_mut());
+        assert_eq!(stats.blocks(RequestClass::Sequential), 2_000);
+        assert_eq!(stats.requests(RequestClass::Random), 0);
+        assert!(stats.elapsed > Duration::ZERO);
+        assert!(stats.io_time > Duration::ZERO);
+        // hStorage-DB does not cache sequentially scanned blocks.
+        assert_eq!(storage.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn random_query_populates_cache_and_buffer_pool() {
+        let (mut cat, table, index) = small_catalog();
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let stats = exec.run_query(&random_plan(table, index, 3_000), &mut cat, storage.as_mut());
+        assert_eq!(stats.requests(RequestClass::Sequential), 0);
+        assert!(stats.blocks(RequestClass::Random) > 0);
+        assert!(storage.resident_blocks() > 0);
+        assert!(stats.buffer_pool_hits + stats.buffer_pool_misses == 6_000);
+    }
+
+    #[test]
+    fn repeated_random_query_benefits_from_the_ssd_cache() {
+        let (mut cat, table, index) = small_catalog();
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let cold = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_mut());
+        let warm = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_mut());
+        assert!(
+            warm.io_time < cold.io_time / 2,
+            "warm {:?} vs cold {:?}",
+            warm.io_time,
+            cold.io_time
+        );
+    }
+
+    #[test]
+    fn temp_spill_lifecycle_reaches_storage_and_is_trimmed() {
+        let (mut cat, _, _) = small_catalog();
+        let plan = PlanTree::new(
+            "spill",
+            PlanNode::leaf(
+                OperatorKind::Hash,
+                Access::TempSpill {
+                    blocks: 256,
+                    read_passes: 1,
+                },
+            ),
+        );
+        let mut exec = executor();
+        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        let stats = exec.run_query(&plan, &mut cat, &mut hybrid);
+        assert_eq!(stats.blocks(RequestClass::TemporaryData), 512); // write + read
+        assert_eq!(stats.blocks(RequestClass::TemporaryDataTrim), 256);
+        // After the TRIM at end of lifetime nothing remains cached.
+        assert_eq!(hybrid.resident_blocks(), 0);
+        // Temporary reads were all served from cache.
+        let s = hybrid.stats();
+        assert_eq!(s.class(RequestClass::TemporaryData).cache_hits, 256);
+    }
+
+    #[test]
+    fn updates_go_to_the_write_buffer() {
+        let (mut cat, table, _) = small_catalog();
+        let plan = PlanTree::new(
+            "rf1",
+            PlanNode::leaf(OperatorKind::Update, Access::Update { table, blocks: 50 }),
+        );
+        let mut exec = executor();
+        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        let stats = exec.run_query(&plan, &mut cat, &mut hybrid);
+        assert_eq!(stats.requests(RequestClass::Update), 50);
+        let s = hybrid.stats();
+        assert_eq!(s.class(RequestClass::Update).accessed_blocks, 50);
+        assert!(s.action(hstorage_cache::CacheAction::WriteAllocation) > 0);
+    }
+
+    #[test]
+    fn policy_assignment_reaches_storage_with_expected_priorities() {
+        // A plan with index scans at two levels must produce requests at two
+        // different priorities (Rule 2), which the hybrid cache tracks in
+        // its per-priority statistics.
+        let (mut cat, table, index) = small_catalog();
+        let other_table = cat.register("supplier", ObjectKind::Table, BlockRange::new(10_000u64, 200));
+        let other_index = cat.register("idx_supplier", ObjectKind::Index, BlockRange::new(10_200u64, 20));
+        let low = PlanNode::leaf(
+            OperatorKind::IndexScan,
+            Access::IndexScan {
+                index: other_index,
+                table: other_table,
+                lookups: 100,
+                index_hot_fraction: 1.0,
+                table_hot_fraction: 1.0,
+            },
+        );
+        let join = PlanNode::node(OperatorKind::HashJoin, Access::None, vec![low]);
+        let high = PlanNode::leaf(
+            OperatorKind::IndexScan,
+            Access::IndexScan {
+                index,
+                table,
+                lookups: 100,
+                index_hot_fraction: 0.5,
+                table_hot_fraction: 0.2,
+            },
+        );
+        let root = PlanNode::node(OperatorKind::NestedLoop, Access::None, vec![join, high]);
+        let plan = PlanTree::new("two-level", root);
+
+        let mut exec = executor();
+        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        exec.run_query(&plan, &mut cat, &mut hybrid);
+        let s = hybrid.stats();
+        assert!(s.priority(2).accessed_blocks > 0, "priority 2 traffic");
+        assert!(s.priority(3).accessed_blocks > 0, "priority 3 traffic");
+        let _ = QosPolicy::priority(2);
+    }
+
+    #[test]
+    fn concurrent_driver_completes_all_queries() {
+        let (mut cat, table, index) = small_catalog();
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let streams = vec![
+            StreamSpec {
+                name: "s1".into(),
+                queries: vec![random_plan(table, index, 500), seq_plan(table)],
+            },
+            StreamSpec {
+                name: "s2".into(),
+                queries: vec![seq_plan(table)],
+            },
+        ];
+        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_mut(), 16);
+        assert_eq!(done.len(), 3);
+        assert_eq!(exec.registry().active_queries(), 0);
+        assert!(done.iter().all(|q| q.stats.elapsed > Duration::ZERO));
+        let s1_count = done.iter().filter(|q| q.stream == "s1").count();
+        assert_eq!(s1_count, 2);
+    }
+
+    #[test]
+    fn concurrent_queries_take_longer_than_standalone() {
+        let (mut cat, table, index) = small_catalog();
+
+        // Standalone execution.
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
+        let solo = exec.run_query(&random_plan(table, index, 500), &mut cat, storage.as_mut());
+
+        // The same query with two competing sequential streams.
+        let mut exec = executor();
+        let mut storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
+        let streams = vec![
+            StreamSpec {
+                name: "q".into(),
+                queries: vec![random_plan(table, index, 500)],
+            },
+            StreamSpec {
+                name: "noise1".into(),
+                queries: vec![seq_plan(table)],
+            },
+            StreamSpec {
+                name: "noise2".into(),
+                queries: vec![seq_plan(table)],
+            },
+        ];
+        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_mut(), 8);
+        let contended = &done.iter().find(|q| q.stream == "q").unwrap().stats;
+        assert!(contended.elapsed > solo.elapsed);
+    }
+}

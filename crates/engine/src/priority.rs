@@ -1,0 +1,123 @@
+//! Function (1): mapping a plan level to a caching priority.
+//!
+//! Random requests are mapped onto the consecutive priority range
+//! `[n1, n2]`. With `Lgap = lhigh - llow` and `Cprio = n2 - n1`, the
+//! priority of a random request issued by an operator at level `i` is
+//!
+//! ```text
+//! p(i) = n1                                   if Cprio = 0 or Lgap = 0
+//!      = n1 + (i - llow)                      if Cprio >= Lgap
+//!      = n1 + floor(Cprio * (i - llow)/Lgap)  if Cprio <  Lgap
+//! ```
+
+use hstorage_storage::{CachePriority, PolicyConfig};
+
+/// Computes the caching priority of a random request issued by an operator
+/// at (effective) level `level`, given the lowest and highest levels of all
+/// random-access operators (`llow`, `lhigh`) and the policy configuration
+/// (which supplies the priority range `[n1, n2]`).
+///
+/// Levels outside `[llow, lhigh]` are clamped into the range, which can
+/// only happen transiently under concurrency when the global bounds lag a
+/// newly registered query.
+pub fn random_request_priority(
+    config: &PolicyConfig,
+    level: u32,
+    llow: u32,
+    lhigh: u32,
+) -> CachePriority {
+    let n1 = config.random_range_high;
+    let n2 = config.random_range_low;
+    let c_prio = (n2 - n1) as u32;
+    let (llow, lhigh) = if llow <= lhigh { (llow, lhigh) } else { (lhigh, llow) };
+    let l_gap = lhigh - llow;
+    let i = level.clamp(llow, lhigh);
+
+    let p = if c_prio == 0 || l_gap == 0 {
+        n1 as u32
+    } else if c_prio >= l_gap {
+        n1 as u32 + (i - llow)
+    } else {
+        n1 as u32 + (c_prio * (i - llow)) / l_gap
+    };
+    CachePriority(p.min(n2 as u32) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PolicyConfig {
+        // Paper default: range [2, 6] with N = 8.
+        PolicyConfig::paper_default()
+    }
+
+    #[test]
+    fn zero_gap_maps_to_highest_available() {
+        let c = cfg();
+        assert_eq!(random_request_priority(&c, 3, 3, 3), CachePriority(2));
+    }
+
+    #[test]
+    fn zero_range_maps_everything_to_n1() {
+        let mut c = cfg();
+        c.random_range_low = c.random_range_high; // Cprio = 0
+        assert_eq!(random_request_priority(&c, 0, 0, 5), CachePriority(2));
+        assert_eq!(random_request_priority(&c, 5, 0, 5), CachePriority(2));
+    }
+
+    #[test]
+    fn wide_range_assigns_one_priority_per_level() {
+        let c = cfg(); // Cprio = 4
+        // Lgap = 2 <= Cprio: priority = n1 + (i - llow).
+        assert_eq!(random_request_priority(&c, 0, 0, 2), CachePriority(2));
+        assert_eq!(random_request_priority(&c, 1, 0, 2), CachePriority(3));
+        assert_eq!(random_request_priority(&c, 2, 0, 2), CachePriority(4));
+    }
+
+    #[test]
+    fn narrow_range_shares_priorities_between_levels() {
+        let mut c = cfg();
+        c.random_range_low = 3; // range [2, 3], Cprio = 1
+        // Lgap = 4 > Cprio: p = 2 + floor(1 * (i - 0) / 4).
+        assert_eq!(random_request_priority(&c, 0, 0, 4), CachePriority(2));
+        assert_eq!(random_request_priority(&c, 1, 0, 4), CachePriority(2));
+        assert_eq!(random_request_priority(&c, 3, 0, 4), CachePriority(2));
+        assert_eq!(random_request_priority(&c, 4, 0, 4), CachePriority(3));
+    }
+
+    #[test]
+    fn paper_figure_2_example() {
+        // "We assume that the available priority range is [2,5]."
+        let mut c = cfg();
+        c.random_range_high = 2;
+        c.random_range_low = 5;
+        // t.a's lowest random operator is at level 0 → priority 2.
+        assert_eq!(random_request_priority(&c, 0, 0, 2), CachePriority(2));
+        // t.b's random operator at level 2 → priority 4.
+        assert_eq!(random_request_priority(&c, 2, 0, 2), CachePriority(4));
+        // t.c's index scan recalculated to level 0 → priority 2.
+        assert_eq!(random_request_priority(&c, 0, 0, 2), CachePriority(2));
+    }
+
+    #[test]
+    fn level_outside_bounds_is_clamped() {
+        let c = cfg();
+        assert_eq!(random_request_priority(&c, 10, 0, 2), CachePriority(4));
+        assert_eq!(random_request_priority(&c, 0, 1, 3), CachePriority(2));
+    }
+
+    #[test]
+    fn priority_never_exceeds_range() {
+        let c = cfg();
+        for llow in 0..5u32 {
+            for lhigh in llow..8u32 {
+                for level in 0..10u32 {
+                    let p = random_request_priority(&c, level, llow, lhigh);
+                    assert!(p.0 >= c.random_range_high);
+                    assert!(p.0 <= c.random_range_low);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Request programs: the compiled I/O behaviour of a query plan.
+//!
+//! The executor first *compiles* a plan tree against the catalog into a
+//! flat sequence of [`IoOp`]s (the order an iterator-model executor with
+//! blocking operators would issue them in), and then *executes* the
+//! program, assigning QoS policies at issue time so that Rule 5 sees the
+//! registry state of the moment. Keeping compilation separate from
+//! execution is also what lets the concurrent-workload driver interleave
+//! several programs over one storage system.
+
+use crate::catalog::{Catalog, ObjectId};
+use crate::plan::{Access, ExecStep, OperatorKind, PlanTree};
+use crate::semantic::{ContentType, SemanticInfo};
+use hstorage_storage::BlockRange;
+use serde::{Deserialize, Serialize};
+
+/// One unit of work of a compiled query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IoOp {
+    /// A sequential read of a contiguous range of a table.
+    SequentialRead {
+        /// Semantic information to attach.
+        info: SemanticInfo,
+        /// Blocks to read.
+        range: BlockRange,
+    },
+    /// One index-scan probe: a random read of one index block followed by a
+    /// random read of one table block. The concrete block addresses are
+    /// drawn at execution time from the hot subsets.
+    IndexProbe {
+        /// Semantic info for the index access.
+        index_info: SemanticInfo,
+        /// Hot subset of the index to probe.
+        index_hot: BlockRange,
+        /// Semantic info for the table access.
+        table_info: SemanticInfo,
+        /// Hot subset of the table to access.
+        table_hot: BlockRange,
+    },
+    /// A write of temporary data during the generation phase.
+    TempWrite {
+        /// Semantic information (temporary, write).
+        info: SemanticInfo,
+        /// Blocks to write.
+        range: BlockRange,
+    },
+    /// A read of temporary data during the consumption phase.
+    TempRead {
+        /// Semantic information (temporary, read).
+        info: SemanticInfo,
+        /// Blocks to read.
+        range: BlockRange,
+    },
+    /// Deletion of a temporary file at the end of its lifetime.
+    TempDelete {
+        /// Semantic information (temporary delete).
+        info: SemanticInfo,
+        /// The whole file being deleted.
+        range: BlockRange,
+        /// The temporary object to drop from the catalog.
+        oid: ObjectId,
+    },
+    /// An application update of one random block.
+    UpdateWrite {
+        /// Semantic information (update).
+        info: SemanticInfo,
+        /// The table region the updated block is drawn from.
+        table_range: BlockRange,
+    },
+}
+
+/// A compiled query: its name, the plan-level bounds used by Function (1),
+/// and the ordered list of I/O operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestProgram {
+    /// Query name.
+    pub name: String,
+    /// The query's own `(llow, lhigh)` over random operators; `(0, 0)` when
+    /// the plan has no random operators.
+    pub level_bounds: (u32, u32),
+    /// Ordered operations.
+    pub ops: Vec<IoOp>,
+}
+
+impl RequestProgram {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Compilation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Blocks per sequential read request.
+    pub seq_blocks_per_request: u64,
+    /// Blocks per temporary-data request.
+    pub temp_blocks_per_request: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            seq_blocks_per_request: 64,
+            temp_blocks_per_request: 32,
+        }
+    }
+}
+
+/// Returns the leading sub-range of `range` covering `fraction` of it
+/// (at least one block for non-empty ranges).
+fn hot_subset(range: BlockRange, fraction: f64) -> BlockRange {
+    if range.is_empty() {
+        return range;
+    }
+    let len = ((range.len as f64 * fraction).ceil() as u64).clamp(1, range.len);
+    BlockRange::new(range.start, len)
+}
+
+/// Merges several operation streams proportionally, preserving the order
+/// within each stream. This models pipelined execution: the children of a
+/// non-blocking join produce and consume rows concurrently, so their I/O
+/// interleaves rather than running back to back.
+fn interleave(streams: Vec<Vec<IoOp>>) -> Vec<IoOp> {
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        // Pick the stream that is the least far through, proportionally.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, stream) in streams.iter().enumerate() {
+            if cursors[i] >= stream.len() {
+                continue;
+            }
+            let progress = cursors[i] as f64 / stream.len() as f64;
+            match best {
+                Some((_, p)) if p <= progress => {}
+                _ => best = Some((i, progress)),
+            }
+        }
+        let (i, _) = best.expect("total count guarantees a non-exhausted stream");
+        out.push(streams[i][cursors[i]].clone());
+        cursors[i] += 1;
+    }
+    out
+}
+
+/// Compiles a plan tree into a request program.
+///
+/// Children of blocking operators (hash, sort, materialize) complete before
+/// anything above them runs; children of pipelined operators (joins) have
+/// their I/O interleaved proportionally.
+///
+/// Temporary spills model the two phases of Section 4.2.3: the *generation*
+/// phase (the write stream) is interleaved with the spilling operator's
+/// input, and the *consumption* phase (the read streams) plus the deletion
+/// are deferred to the end of the query, when the materialised data is
+/// actually consumed by the upper part of the plan. Temporary files are
+/// allocated from the catalog's temp region; the corresponding
+/// [`IoOp::TempDelete`] drops them again at execution time.
+pub fn compile(
+    plan: &PlanTree,
+    catalog: &mut Catalog,
+    options: CompileOptions,
+) -> RequestProgram {
+    let level_bounds = plan.random_level_bounds().unwrap_or((0, 0));
+    let object_levels = plan.random_object_levels();
+    let levels = plan.operator_levels();
+    let eff: Vec<u32> = levels.iter().map(|l| l.effective_level).collect();
+
+    fn walk(
+        node: &crate::plan::PlanNode,
+        counter: &mut usize,
+        eff: &[u32],
+        catalog: &mut Catalog,
+        options: &CompileOptions,
+        object_levels: &std::collections::HashMap<ObjectId, u32>,
+        deferred: &mut Vec<IoOp>,
+    ) -> Vec<IoOp> {
+        let my_index = *counter;
+        *counter += 1;
+        let child_streams: Vec<Vec<IoOp>> = node
+            .children
+            .iter()
+            .map(|c| walk(c, counter, eff, catalog, options, object_levels, deferred))
+            .collect();
+
+        // Blocking children finish before their siblings start; pipelined
+        // children interleave.
+        let any_blocking_child = node.children.iter().any(|c| c.kind.is_blocking());
+        let mut ops = if child_streams.len() <= 1 || any_blocking_child {
+            child_streams.into_iter().flatten().collect()
+        } else {
+            interleave(child_streams)
+        };
+
+        let step = ExecStep {
+            kind: node.kind,
+            access: node.access,
+            level: eff[my_index],
+        };
+        let mut own = Vec::new();
+        compile_step(&step, catalog, options, object_levels, &mut own);
+        if let Access::TempSpill { .. } = node.access {
+            // Generation (writes) interleaves with the input; consumption
+            // (reads) and deletion are deferred to the end of the query.
+            let (writes, rest): (Vec<IoOp>, Vec<IoOp>) = own
+                .into_iter()
+                .partition(|op| matches!(op, IoOp::TempWrite { .. }));
+            ops = interleave(vec![ops, writes]);
+            deferred.extend(rest);
+        } else {
+            ops.extend(own);
+        }
+        ops
+    }
+
+    let mut counter = 0;
+    let mut deferred = Vec::new();
+    let mut ops = walk(
+        &plan.root,
+        &mut counter,
+        &eff,
+        catalog,
+        &options,
+        &object_levels,
+        &mut deferred,
+    );
+    ops.extend(deferred);
+
+    RequestProgram {
+        name: plan.name.clone(),
+        level_bounds,
+        ops,
+    }
+}
+
+fn compile_step(
+    step: &ExecStep,
+    catalog: &mut Catalog,
+    options: &CompileOptions,
+    object_levels: &std::collections::HashMap<ObjectId, u32>,
+    ops: &mut Vec<IoOp>,
+) {
+    match step.access {
+        Access::None => {}
+        Access::SeqScan { table, passes } => {
+            let Some(info) = catalog.get(table) else {
+                return;
+            };
+            let range = info.range;
+            let sem = SemanticInfo::sequential_scan(table, step.level);
+            for _ in 0..passes {
+                let mut remaining = range;
+                while !remaining.is_empty() {
+                    let (chunk, rest) = remaining.split_at(options.seq_blocks_per_request);
+                    ops.push(IoOp::SequentialRead { info: sem, range: chunk });
+                    remaining = rest;
+                }
+            }
+        }
+        Access::IndexScan {
+            index,
+            table,
+            lookups,
+            index_hot_fraction,
+            table_hot_fraction,
+        } => {
+            let (Some(index_obj), Some(table_obj)) = (catalog.get(index), catalog.get(table))
+            else {
+                return;
+            };
+            let index_hot = hot_subset(index_obj.range, index_hot_fraction);
+            let table_hot = hot_subset(table_obj.range, table_hot_fraction);
+            // Rule 2: the level that determines the priority of requests to
+            // an object is the lowest level of any operator that accesses
+            // it randomly — not necessarily this operator's own level.
+            let index_level = *object_levels.get(&index).unwrap_or(&step.level);
+            let table_level = *object_levels.get(&table).unwrap_or(&step.level);
+            let index_info = SemanticInfo::random_access(index, ContentType::Index, index_level);
+            let table_info =
+                SemanticInfo::random_access(table, ContentType::RegularTable, table_level);
+            for _ in 0..lookups {
+                ops.push(IoOp::IndexProbe {
+                    index_info,
+                    index_hot,
+                    table_info,
+                    table_hot,
+                });
+            }
+        }
+        Access::TempSpill {
+            blocks,
+            read_passes,
+        } => {
+            if blocks == 0 {
+                return;
+            }
+            let oid = catalog.allocate_temp(blocks);
+            let range = catalog.get(oid).expect("temp just allocated").range;
+            let write_info = SemanticInfo::temporary(oid, true);
+            let read_info = SemanticInfo::temporary(oid, false);
+            // Generation phase: one write stream.
+            let mut remaining = range;
+            while !remaining.is_empty() {
+                let (chunk, rest) = remaining.split_at(options.temp_blocks_per_request);
+                ops.push(IoOp::TempWrite {
+                    info: write_info,
+                    range: chunk,
+                });
+                remaining = rest;
+            }
+            // Consumption phase: one or more read streams.
+            for _ in 0..read_passes {
+                let mut remaining = range;
+                while !remaining.is_empty() {
+                    let (chunk, rest) = remaining.split_at(options.temp_blocks_per_request);
+                    ops.push(IoOp::TempRead {
+                        info: read_info,
+                        range: chunk,
+                    });
+                    remaining = rest;
+                }
+            }
+            // End of lifetime: delete the file.
+            ops.push(IoOp::TempDelete {
+                info: SemanticInfo::temporary_delete(oid),
+                range,
+                oid,
+            });
+        }
+        Access::Update { table, blocks } => {
+            let Some(table_obj) = catalog.get(table) else {
+                return;
+            };
+            let info = SemanticInfo::update(table);
+            for _ in 0..blocks {
+                ops.push(IoOp::UpdateWrite {
+                    info,
+                    table_range: table_obj.range,
+                });
+            }
+        }
+    }
+    // Operator kinds are only needed for level computation; the access spec
+    // above fully describes the I/O. Blocking operators without a TempSpill
+    // access (in-memory hash/sort) produce no I/O.
+    let _ = OperatorKind::Hash;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ObjectKind;
+    use crate::plan::PlanNode;
+
+    fn setup() -> (Catalog, ObjectId, ObjectId) {
+        let mut cat = Catalog::new();
+        let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 1000));
+        let index = cat.register("idx_orders", ObjectKind::Index, BlockRange::new(1000u64, 100));
+        cat.set_temp_region(BlockRange::new(100_000u64, 10_000));
+        (cat, table, index)
+    }
+
+    #[test]
+    fn seq_scan_is_chunked() {
+        let (mut cat, table, _) = setup();
+        let plan = PlanTree::new(
+            "scan",
+            PlanNode::leaf(OperatorKind::SeqScan, Access::SeqScan { table, passes: 1 }),
+        );
+        let prog = compile(&plan, &mut cat, CompileOptions::default());
+        assert_eq!(prog.len(), (1000 + 63) / 64);
+        let total: u64 = prog
+            .ops
+            .iter()
+            .map(|op| match op {
+                IoOp::SequentialRead { range, .. } => range.len,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn index_scan_emits_one_probe_per_lookup() {
+        let (mut cat, table, index) = setup();
+        let plan = PlanTree::new(
+            "probe",
+            PlanNode::leaf(
+                OperatorKind::IndexScan,
+                Access::IndexScan {
+                    index,
+                    table,
+                    lookups: 250,
+                    index_hot_fraction: 0.5,
+                    table_hot_fraction: 0.1,
+                },
+            ),
+        );
+        let prog = compile(&plan, &mut cat, CompileOptions::default());
+        assert_eq!(prog.len(), 250);
+        match &prog.ops[0] {
+            IoOp::IndexProbe {
+                index_hot,
+                table_hot,
+                ..
+            } => {
+                assert_eq!(index_hot.len, 50);
+                assert_eq!(table_hot.len, 100);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temp_spill_generates_write_read_delete_lifecycle() {
+        let (mut cat, _, _) = setup();
+        let plan = PlanTree::new(
+            "spill",
+            PlanNode::leaf(
+                OperatorKind::Hash,
+                Access::TempSpill {
+                    blocks: 64,
+                    read_passes: 2,
+                },
+            ),
+        );
+        let before = cat.len();
+        let prog = compile(&plan, &mut cat, CompileOptions::default());
+        assert_eq!(cat.len(), before + 1);
+        let writes = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::TempWrite { .. }))
+            .count();
+        let reads = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::TempRead { .. }))
+            .count();
+        let deletes = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::TempDelete { .. }))
+            .count();
+        assert_eq!(writes, 2); // 64 blocks / 32 per request
+        assert_eq!(reads, 4); // two passes
+        assert_eq!(deletes, 1);
+        // Writes come before reads, delete is last.
+        assert!(matches!(prog.ops.first().unwrap(), IoOp::TempWrite { .. }));
+        assert!(matches!(prog.ops.last().unwrap(), IoOp::TempDelete { .. }));
+    }
+
+    #[test]
+    fn update_emits_one_op_per_block() {
+        let (mut cat, table, _) = setup();
+        let plan = PlanTree::new(
+            "rf1",
+            PlanNode::leaf(OperatorKind::Update, Access::Update { table, blocks: 17 }),
+        );
+        let prog = compile(&plan, &mut cat, CompileOptions::default());
+        assert_eq!(prog.len(), 17);
+        assert!(prog
+            .ops
+            .iter()
+            .all(|o| matches!(o, IoOp::UpdateWrite { .. })));
+    }
+
+    #[test]
+    fn hot_subset_bounds() {
+        let r = BlockRange::new(10u64, 100);
+        assert_eq!(hot_subset(r, 0.25).len, 25);
+        assert_eq!(hot_subset(r, 0.0).len, 1);
+        assert_eq!(hot_subset(r, 1.0).len, 100);
+        assert_eq!(hot_subset(r, 2.0).len, 100);
+        assert!(hot_subset(BlockRange::empty(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn level_bounds_default_to_zero_without_random_ops() {
+        let (mut cat, table, _) = setup();
+        let plan = PlanTree::new(
+            "scan",
+            PlanNode::leaf(OperatorKind::SeqScan, Access::SeqScan { table, passes: 1 }),
+        );
+        let prog = compile(&plan, &mut cat, CompileOptions::default());
+        assert_eq!(prog.level_bounds, (0, 0));
+    }
+}

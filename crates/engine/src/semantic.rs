@@ -1,0 +1,177 @@
+//! Semantic information attached to buffer-pool requests.
+//!
+//! Section 4.1: for the purpose of caching priorities the paper considers
+//! the *content type* (regular table, index, temporary data) and the
+//! *access pattern* (sequential or random, as decided by the query
+//! optimizer), plus the plan-tree level of the operator that issued the
+//! request. This module is the in-DBMS representation of that information
+//! before the policy assignment table turns it into a QoS policy.
+
+use crate::catalog::ObjectId;
+use hstorage_storage::RequestClass;
+use serde::{Deserialize, Serialize};
+
+/// Content type of the accessed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentType {
+    /// A regular user table.
+    RegularTable,
+    /// A secondary index.
+    Index,
+    /// Temporary data generated during query execution.
+    Temporary,
+}
+
+/// Access pattern as determined by the query optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// The object is scanned sequentially.
+    Sequential,
+    /// The object is accessed at random (index scans and index-driven
+    /// table lookups).
+    Random,
+}
+
+/// Semantic information for one data request, as collected from the query
+/// optimizer and execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SemanticInfo {
+    /// The object being accessed.
+    pub oid: ObjectId,
+    /// Content type of the object.
+    pub content: ContentType,
+    /// Access pattern of the issuing operator.
+    pub pattern: AccessPattern,
+    /// Effective plan-tree level of the issuing operator (after the
+    /// blocking-operator recalculation), if the request comes from a query
+    /// plan. Updates and temp-file deletions carry `None`.
+    pub level: Option<u32>,
+    /// Whether the request writes data.
+    pub is_write: bool,
+    /// Whether this request deletes temporary data (end of lifetime).
+    pub is_temp_delete: bool,
+    /// Whether this is an application update (INSERT/UPDATE/DELETE on a
+    /// regular table).
+    pub is_update: bool,
+}
+
+impl SemanticInfo {
+    /// Semantic info for a sequential table scan request.
+    pub fn sequential_scan(oid: ObjectId, level: u32) -> Self {
+        SemanticInfo {
+            oid,
+            content: ContentType::RegularTable,
+            pattern: AccessPattern::Sequential,
+            level: Some(level),
+            is_write: false,
+            is_temp_delete: false,
+            is_update: false,
+        }
+    }
+
+    /// Semantic info for a random access to a table or index.
+    pub fn random_access(oid: ObjectId, content: ContentType, level: u32) -> Self {
+        SemanticInfo {
+            oid,
+            content,
+            pattern: AccessPattern::Random,
+            level: Some(level),
+            is_write: false,
+            is_temp_delete: false,
+            is_update: false,
+        }
+    }
+
+    /// Semantic info for temporary-data access during its lifetime.
+    pub fn temporary(oid: ObjectId, is_write: bool) -> Self {
+        SemanticInfo {
+            oid,
+            content: ContentType::Temporary,
+            pattern: AccessPattern::Sequential,
+            level: None,
+            is_write,
+            is_temp_delete: false,
+            is_update: false,
+        }
+    }
+
+    /// Semantic info for the deletion of temporary data (end of lifetime).
+    pub fn temporary_delete(oid: ObjectId) -> Self {
+        SemanticInfo {
+            oid,
+            content: ContentType::Temporary,
+            pattern: AccessPattern::Sequential,
+            level: None,
+            is_write: false,
+            is_temp_delete: true,
+            is_update: false,
+        }
+    }
+
+    /// Semantic info for an application update to a regular table.
+    pub fn update(oid: ObjectId) -> Self {
+        SemanticInfo {
+            oid,
+            content: ContentType::RegularTable,
+            pattern: AccessPattern::Random,
+            level: None,
+            is_write: true,
+            is_temp_delete: false,
+            is_update: true,
+        }
+    }
+
+    /// The request class (Section 4.1) this semantic information maps to.
+    pub fn request_class(&self) -> RequestClass {
+        if self.is_update {
+            RequestClass::Update
+        } else if self.is_temp_delete {
+            RequestClass::TemporaryDataTrim
+        } else if self.content == ContentType::Temporary {
+            RequestClass::TemporaryData
+        } else if self.pattern == AccessPattern::Random {
+            RequestClass::Random
+        } else {
+            RequestClass::Sequential
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_section_4_1() {
+        let oid = ObjectId(1);
+        assert_eq!(
+            SemanticInfo::sequential_scan(oid, 0).request_class(),
+            RequestClass::Sequential
+        );
+        assert_eq!(
+            SemanticInfo::random_access(oid, ContentType::Index, 2).request_class(),
+            RequestClass::Random
+        );
+        assert_eq!(
+            SemanticInfo::temporary(oid, true).request_class(),
+            RequestClass::TemporaryData
+        );
+        assert_eq!(
+            SemanticInfo::temporary_delete(oid).request_class(),
+            RequestClass::TemporaryDataTrim
+        );
+        assert_eq!(
+            SemanticInfo::update(oid).request_class(),
+            RequestClass::Update
+        );
+    }
+
+    #[test]
+    fn update_takes_precedence_over_pattern() {
+        // An update is random and a write, but must classify as Update.
+        let info = SemanticInfo::update(ObjectId(7));
+        assert_eq!(info.pattern, AccessPattern::Random);
+        assert!(info.is_write);
+        assert_eq!(info.request_class(), RequestClass::Update);
+    }
+}

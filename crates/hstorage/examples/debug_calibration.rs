@@ -1,0 +1,11 @@
+//! Internal calibration aid: prints the experiment reports at a small scale.
+use hstorage::experiments::{fig5, fig6, fig9, table9};
+use hstorage_tpch::TpchScale;
+
+fn main() {
+    let scale = TpchScale::new(0.02);
+    println!("=== fig5 ===\n{}", fig5::run(scale));
+    println!("=== fig6 ===\n{}", fig6::run(scale));
+    println!("=== fig9 ===\n{}", fig9::run(scale));
+    println!("=== table9 (0.01) ===\n{}", table9::run(TpchScale::new(0.01)));
+}

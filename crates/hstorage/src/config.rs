@@ -1,0 +1,114 @@
+//! System configuration: which storage configuration to run, at what scale,
+//! with which cache / buffer-pool sizes.
+
+use hstorage_cache::{StorageConfig, StorageConfigKind};
+use hstorage_engine::ExecutorConfig;
+use hstorage_storage::PolicyConfig;
+use hstorage_tpch::TpchScale;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to build a [`TpchSystem`](crate::TpchSystem).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The TPC-H scale.
+    pub scale: TpchScale,
+    /// Which of the four storage configurations to use.
+    pub storage_kind: StorageConfigKind,
+    /// SSD cache capacity in blocks (ignored by the passthrough kinds).
+    pub cache_blocks: u64,
+    /// DBMS buffer-pool capacity in blocks.
+    pub buffer_pool_blocks: u64,
+    /// QoS policy parameters.
+    pub policy: PolicyConfig,
+    /// Executor tuning.
+    pub executor: ExecutorConfig,
+}
+
+impl SystemConfig {
+    /// The single-query experiment setup of Sections 6.2–6.3: the SSD cache
+    /// keeps the paper's 32 GB : 46 GB cache-to-data ratio, and the DBMS
+    /// buffer pool is kept small (≈2% of the data) so that storage sees the
+    /// bulk of the accesses, as it does in the paper's measurements.
+    pub fn single_query(scale: TpchScale, storage_kind: StorageConfigKind) -> Self {
+        let cache_blocks = scale.paper_single_query_cache_blocks();
+        let buffer_pool_blocks = (scale.total_blocks() / 50).max(64);
+        let mut executor = ExecutorConfig::default();
+        executor.buffer_pool_blocks = buffer_pool_blocks;
+        SystemConfig {
+            scale,
+            storage_kind,
+            cache_blocks,
+            buffer_pool_blocks,
+            policy: PolicyConfig::paper_default(),
+            executor,
+        }
+    }
+
+    /// The throughput-test setup of Section 6.4: 4 GB of cache and 2 GB of
+    /// main memory over a 16 GB database, preserved as ratios.
+    pub fn throughput(scale: TpchScale, storage_kind: StorageConfigKind) -> Self {
+        let cache_blocks = scale.paper_throughput_cache_blocks();
+        let buffer_pool_blocks = scale.paper_throughput_buffer_pool_blocks().max(64);
+        let mut executor = ExecutorConfig::default();
+        executor.buffer_pool_blocks = buffer_pool_blocks;
+        SystemConfig {
+            scale,
+            storage_kind,
+            cache_blocks,
+            buffer_pool_blocks,
+            policy: PolicyConfig::paper_default(),
+            executor,
+        }
+    }
+
+    /// Overrides the cache size (e.g. for ablations).
+    pub fn with_cache_blocks(mut self, blocks: u64) -> Self {
+        self.cache_blocks = blocks;
+        self
+    }
+
+    /// Overrides the policy parameters (e.g. for ablations).
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The storage configuration descriptor implied by this system config.
+    pub fn storage_config(&self) -> StorageConfig {
+        StorageConfig::new(self.storage_kind, self.cache_blocks).with_policy(self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_query_preserves_cache_ratio() {
+        let scale = TpchScale::new(0.1);
+        let cfg = SystemConfig::single_query(scale, StorageConfigKind::HStorageDb);
+        let ratio = cfg.cache_blocks as f64 / scale.total_blocks() as f64;
+        assert!((ratio - 32.0 / 46.0).abs() < 0.02);
+        assert!(cfg.buffer_pool_blocks < cfg.cache_blocks);
+        assert_eq!(cfg.executor.buffer_pool_blocks, cfg.buffer_pool_blocks);
+    }
+
+    #[test]
+    fn throughput_uses_smaller_cache_and_memory() {
+        let scale = TpchScale::new(0.1);
+        let single = SystemConfig::single_query(scale, StorageConfigKind::Lru);
+        let through = SystemConfig::throughput(scale, StorageConfigKind::Lru);
+        assert!(through.cache_blocks < single.cache_blocks);
+        assert!(through.buffer_pool_blocks > 0);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = SystemConfig::single_query(TpchScale::new(0.05), StorageConfigKind::HStorageDb)
+            .with_cache_blocks(123)
+            .with_policy(PolicyConfig::with_priorities(6, 0.2));
+        assert_eq!(cfg.cache_blocks, 123);
+        assert_eq!(cfg.policy.total_priorities, 6);
+        assert_eq!(cfg.storage_config().cache_capacity_blocks, 123);
+    }
+}

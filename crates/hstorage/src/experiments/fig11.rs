@@ -1,0 +1,174 @@
+//! Figure 11 and Table 8: a power-test sequence of queries.
+//!
+//! The paper runs the TPC-H power-test ordering (RF1, the 22 queries in
+//! stream-00 order, RF2) as one long stream, so cache contents carry over
+//! from query to query: temporary data must be evicted promptly and data
+//! left behind by one query must yield to the next query's working set.
+//! The LRU configuration is omitted, as in the paper.
+
+use crate::report::format_table;
+use crate::{SystemConfig, TpchSystem};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::power::{is_long_query, power_test_sequence};
+use hstorage_tpch::{QueryId, TpchScale};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-query execution times of one storage configuration over the
+/// power-test sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTestRun {
+    /// Configuration label.
+    pub config: String,
+    /// Execution time per query, in sequence order.
+    pub per_query_seconds: Vec<(String, f64)>,
+    /// Total time of the sequence (Table 8).
+    pub total_seconds: f64,
+}
+
+/// Figure 11 + Table 8 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTestReport {
+    /// One run per configuration (HDD-only, hStorage-DB, SSD-only).
+    pub runs: Vec<PowerTestRun>,
+}
+
+/// The configurations the paper plots in Figure 11.
+pub const POWER_TEST_CONFIGS: [StorageConfigKind; 3] = [
+    StorageConfigKind::HddOnly,
+    StorageConfigKind::HStorageDb,
+    StorageConfigKind::SsdOnly,
+];
+
+/// Runs the power-test sequence under each configuration.
+pub fn run(scale: TpchScale) -> PowerTestReport {
+    let sequence = power_test_sequence();
+    let mut runs = Vec::new();
+    for kind in POWER_TEST_CONFIGS {
+        let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
+        let stats = system.run_sequence(&sequence);
+        let per_query_seconds: Vec<(String, f64)> = stats
+            .iter()
+            .map(|s| (s.name.clone(), s.elapsed.as_secs_f64()))
+            .collect();
+        let total_seconds = per_query_seconds.iter().map(|(_, s)| s).sum();
+        runs.push(PowerTestRun {
+            config: kind.label().to_string(),
+            per_query_seconds,
+            total_seconds,
+        });
+    }
+    PowerTestReport { runs }
+}
+
+impl PowerTestReport {
+    /// The run for one configuration.
+    pub fn run_for(&self, config: &str) -> Option<&PowerTestRun> {
+        self.runs.iter().find(|r| r.config == config)
+    }
+
+    /// Table 8: total execution time of the sequence per configuration.
+    pub fn table8(&self) -> Vec<(String, f64)> {
+        self.runs
+            .iter()
+            .map(|r| (r.config.clone(), r.total_seconds))
+            .collect()
+    }
+
+    /// hStorage-DB speedup over HDD-only on the whole sequence
+    /// (paper: 86,009 s → 39,132 s ≈ 2.2x).
+    pub fn hstorage_speedup(&self) -> Option<f64> {
+        let hdd = self.run_for("HDD-only")?.total_seconds;
+        let h = self.run_for("hStorage-DB")?.total_seconds;
+        Some(hdd / h)
+    }
+
+    /// Splits the per-query results into (short, long) maps for the two
+    /// panels of Figure 11.
+    pub fn split_short_long(&self, config: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+        let mut short = BTreeMap::new();
+        let mut long = BTreeMap::new();
+        if let Some(run) = self.run_for(config) {
+            for (name, secs) in &run.per_query_seconds {
+                let is_long = match name.strip_prefix('Q').and_then(|n| n.parse::<u8>().ok()) {
+                    Some(n) => is_long_query(QueryId::Q(n)),
+                    None => false,
+                };
+                if is_long {
+                    long.insert(name.clone(), *secs);
+                } else {
+                    short.insert(name.clone(), *secs);
+                }
+            }
+        }
+        (short, long)
+    }
+}
+
+impl fmt::Display for PowerTestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 11 — execution times of queries in one stream")?;
+        // Column per configuration, row per query (sequence order).
+        let mut headers = vec!["query"];
+        for run in &self.runs {
+            headers.push(run.config.as_str());
+        }
+        let n_queries = self.runs.first().map(|r| r.per_query_seconds.len()).unwrap_or(0);
+        let mut rows = Vec::new();
+        for i in 0..n_queries {
+            let mut row = vec![self.runs[0].per_query_seconds[i].0.clone()];
+            for run in &self.runs {
+                row.push(format!("{:.3}", run.per_query_seconds[i].1));
+            }
+            rows.push(row);
+        }
+        write!(f, "{}", format_table(&headers, &rows))?;
+        writeln!(f, "\nTable 8 — total execution time of the sequence (seconds)")?;
+        let rows: Vec<Vec<String>> = self
+            .table8()
+            .into_iter()
+            .map(|(c, s)| vec![c, format!("{s:.3}")])
+            .collect();
+        write!(f, "{}", format_table(&["config", "total seconds"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_scale;
+
+    #[test]
+    fn sequence_shapes_match_the_paper() {
+        let report = run(test_scale());
+        assert_eq!(report.runs.len(), 3);
+        for run in &report.runs {
+            assert_eq!(run.per_query_seconds.len(), 24); // RF1 + 22 + RF2
+            assert!(run.total_seconds > 0.0);
+        }
+        // Ordering of Table 8: SSD-only < hStorage-DB < HDD-only.
+        let hdd = report.run_for("HDD-only").unwrap().total_seconds;
+        let h = report.run_for("hStorage-DB").unwrap().total_seconds;
+        let ssd = report.run_for("SSD-only").unwrap().total_seconds;
+        assert!(ssd < h, "SSD {ssd} !< hStorage {h}");
+        assert!(h < hdd, "hStorage {h} !< HDD {hdd}");
+        assert!(report.hstorage_speedup().unwrap() > 1.1);
+    }
+
+    #[test]
+    fn short_long_split_covers_all_queries() {
+        let report = run(test_scale());
+        let (short, long) = report.split_short_long("hStorage-DB");
+        assert_eq!(short.len() + long.len(), 24);
+        assert!(long.contains_key("Q18"));
+        assert!(long.contains_key("Q9"));
+    }
+
+    #[test]
+    fn display_contains_table8() {
+        let report = run(test_scale());
+        let text = report.to_string();
+        assert!(text.contains("Figure 11"));
+        assert!(text.contains("Table 8"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 4: diversity of I/O request types across the 22 TPC-H queries.
+//!
+//! The paper runs each query once and counts, per query, the number of I/O
+//! requests of each type (Figure 4a) and the number of disk blocks served
+//! for each type (Figure 4b). The storage configuration is irrelevant —
+//! classification happens in the DBMS — so we run against the hStorage-DB
+//! configuration.
+
+use crate::report::format_table;
+use crate::{SystemConfig, TpchSystem};
+use hstorage_cache::StorageConfigKind;
+use hstorage_storage::RequestClass;
+use hstorage_tpch::{QueryId, TpchScale};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Diversity of one query's request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Query name.
+    pub query: String,
+    /// Fraction of I/O *requests* per request class (Figure 4a).
+    pub request_fraction: BTreeMap<String, f64>,
+    /// Fraction of accessed *blocks* per request class (Figure 4b).
+    pub block_fraction: BTreeMap<String, f64>,
+}
+
+/// The full Figure 4 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Report {
+    /// One row per TPC-H query.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Runs every TPC-H query once and collects its request-type mix.
+pub fn run(scale: TpchScale) -> Fig4Report {
+    let mut rows = Vec::new();
+    for query in QueryId::all_queries() {
+        let mut system =
+            TpchSystem::new(SystemConfig::single_query(scale, StorageConfigKind::HStorageDb));
+        let stats = system.run(query);
+        let mut request_fraction = BTreeMap::new();
+        let mut block_fraction = BTreeMap::new();
+        for class in RequestClass::all() {
+            request_fraction.insert(class.label().to_string(), stats.request_fraction(class));
+            block_fraction.insert(class.label().to_string(), stats.block_fraction(class));
+        }
+        rows.push(Fig4Row {
+            query: query.name(),
+            request_fraction,
+            block_fraction,
+        });
+    }
+    Fig4Report { rows }
+}
+
+impl Fig4Report {
+    /// The row for a given query name.
+    pub fn query(&self, name: &str) -> Option<&Fig4Row> {
+        self.rows.iter().find(|r| r.query == name)
+    }
+
+    /// Queries whose block traffic is dominated (> threshold) by a class.
+    pub fn dominated_by(&self, class: RequestClass, threshold: f64) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter(|r| r.block_fraction.get(class.label()).copied().unwrap_or(0.0) > threshold)
+            .map(|r| r.query.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for Fig4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let classes: Vec<&str> = RequestClass::all().iter().map(|c| c.label()).collect();
+        let mut headers = vec!["query"];
+        headers.extend(classes.iter().map(|c| *c));
+
+        let render = |pick: &dyn Fn(&Fig4Row) -> &BTreeMap<String, f64>| -> Vec<Vec<String>> {
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut cells = vec![row.query.clone()];
+                    for class in &classes {
+                        let v = pick(row).get(*class).copied().unwrap_or(0.0);
+                        cells.push(format!("{:.1}%", v * 100.0));
+                    }
+                    cells
+                })
+                .collect()
+        };
+
+        writeln!(f, "Figure 4a — percentage of each type of requests")?;
+        write!(f, "{}", format_table(&headers, &render(&|r| &r.request_fraction)))?;
+        writeln!(f, "\nFigure 4b — percentage of each type of disk blocks")?;
+        write!(f, "{}", format_table(&headers, &render(&|r| &r.block_fraction)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_scale;
+
+    #[test]
+    fn covers_all_22_queries_with_sane_fractions() {
+        let report = run(test_scale());
+        assert_eq!(report.rows.len(), 22);
+        for row in &report.rows {
+            let total: f64 = row.block_fraction.values().sum();
+            assert!((total - 1.0).abs() < 1e-6, "{}: {total}", row.query);
+        }
+    }
+
+    #[test]
+    fn paper_characterisations_hold() {
+        let report = run(test_scale());
+        // Q1, Q5, Q11, Q19 are dominated by sequential requests.
+        let seq_dominated = report.dominated_by(RequestClass::Sequential, 0.8);
+        for q in ["Q1", "Q5", "Q11", "Q19"] {
+            assert!(seq_dominated.contains(&q.to_string()), "{q} not sequential-dominated");
+        }
+        // Q9 and Q21 have a significant amount of random requests.
+        for q in ["Q9", "Q21"] {
+            let row = report.query(q).unwrap();
+            assert!(row.block_fraction["random"] > 0.2, "{q} lacks random traffic");
+        }
+        // Q18 generates a large number of temporary data requests.
+        let q18 = report.query("Q18").unwrap();
+        assert!(q18.block_fraction["temporary"] > 0.15);
+    }
+
+    #[test]
+    fn display_renders_both_panels() {
+        let report = run(test_scale());
+        let text = report.to_string();
+        assert!(text.contains("Figure 4a"));
+        assert!(text.contains("Figure 4b"));
+        assert!(text.contains("Q21"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 5 and Table 4: queries dominated by sequential requests.
+//!
+//! The paper runs Q1, Q5, Q11 and Q19 under the four storage
+//! configurations and observes that (1) the SSD brings little advantage,
+//! (2) an LRU-managed cache *slows these queries down* (it pays allocation
+//! overhead for data with negligible reuse — Table 4 shows hit ratios of
+//! at most 0.3%), and (3) hStorage-DB avoids that overhead by assigning
+//! sequential requests the "non-caching and non-eviction" priority.
+
+use crate::experiments::{run_single_query, TimeRow};
+use crate::report::format_table;
+use hstorage_cache::StorageConfigKind;
+use hstorage_storage::RequestClass;
+use hstorage_tpch::{QueryId, TpchScale};
+use std::fmt;
+
+/// The queries of Figure 5.
+pub const SEQUENTIAL_QUERIES: [u8; 4] = [1, 5, 11, 19];
+
+/// One row of Table 4: LRU cache statistics for a sequential query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Query name.
+    pub query: String,
+    /// Blocks accessed by sequential requests.
+    pub accessed_blocks: u64,
+    /// Cache hits among them.
+    pub cache_hits: u64,
+    /// Hit ratio.
+    pub hit_ratio: f64,
+}
+
+/// Figure 5 + Table 4 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialQueriesReport {
+    /// Execution times for every (query, configuration) pair.
+    pub times: Vec<TimeRow>,
+    /// Table 4: cache statistics for sequential requests with LRU.
+    pub table4: Vec<Table4Row>,
+}
+
+/// Runs the Figure 5 / Table 4 experiment.
+pub fn run(scale: TpchScale) -> SequentialQueriesReport {
+    let mut times = Vec::new();
+    let mut table4 = Vec::new();
+    for q in SEQUENTIAL_QUERIES {
+        let query = QueryId::Q(q);
+        for kind in StorageConfigKind::all() {
+            let (stats, storage) = run_single_query(scale, kind, query);
+            times.push(TimeRow::new(&query, kind, &stats));
+            if kind == StorageConfigKind::Lru {
+                let seq = storage.class(RequestClass::Sequential);
+                table4.push(Table4Row {
+                    query: query.name(),
+                    accessed_blocks: seq.accessed_blocks,
+                    cache_hits: seq.cache_hits,
+                    hit_ratio: seq.hit_ratio(),
+                });
+            }
+        }
+    }
+    SequentialQueriesReport { times, table4 }
+}
+
+impl SequentialQueriesReport {
+    /// LRU slowdown relative to HDD-only for a query (paper: 1.16x for Q1,
+    /// 1.25x for Q19).
+    pub fn lru_slowdown(&self, query: &str) -> Option<f64> {
+        let lru = crate::experiments::time_of(&self.times, query, "LRU")?;
+        let hdd = crate::experiments::time_of(&self.times, query, "HDD-only")?;
+        Some(lru / hdd)
+    }
+
+    /// hStorage-DB overhead relative to HDD-only (paper: ≈ 1.0).
+    pub fn hstorage_overhead(&self, query: &str) -> Option<f64> {
+        let h = crate::experiments::time_of(&self.times, query, "hStorage-DB")?;
+        let hdd = crate::experiments::time_of(&self.times, query, "HDD-only")?;
+        Some(h / hdd)
+    }
+
+    /// SSD-only speedup over HDD-only (paper: modest for these queries).
+    pub fn ssd_speedup(&self, query: &str) -> Option<f64> {
+        let ssd = crate::experiments::time_of(&self.times, query, "SSD-only")?;
+        let hdd = crate::experiments::time_of(&self.times, query, "HDD-only")?;
+        Some(hdd / ssd)
+    }
+}
+
+impl fmt::Display for SequentialQueriesReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5 — execution times of sequential-dominated queries")?;
+        let rows: Vec<Vec<String>> = self
+            .times
+            .iter()
+            .map(|r| vec![r.query.clone(), r.config.clone(), format!("{:.3}", r.seconds)])
+            .collect();
+        write!(f, "{}", format_table(&["query", "config", "seconds"], &rows))?;
+        writeln!(f, "\nTable 4 — cache statistics for sequential requests with LRU")?;
+        let rows: Vec<Vec<String>> = self
+            .table4
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.clone(),
+                    r.accessed_blocks.to_string(),
+                    r.cache_hits.to_string(),
+                    format!("{:.2}%", r.hit_ratio * 100.0),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(&["query", "# of accessed blocks", "# of hits", "hit ratio"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_scale;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let report = run(test_scale());
+        assert_eq!(report.times.len(), 16);
+        assert_eq!(report.table4.len(), 4);
+        for q in ["Q1", "Q19"] {
+            // LRU pays a visible overhead on sequential queries...
+            assert!(report.lru_slowdown(q).unwrap() > 1.05, "{q} LRU slowdown");
+            // ...which hStorage-DB avoids almost entirely.
+            assert!(report.hstorage_overhead(q).unwrap() < 1.05, "{q} overhead");
+            // The SSD advantage is modest for sequential work.
+            assert!(report.ssd_speedup(q).unwrap() < 4.0, "{q} SSD speedup");
+        }
+        // Table 4: hit ratios are negligible.
+        for row in &report.table4 {
+            assert!(row.hit_ratio < 0.05, "{}: {}", row.query, row.hit_ratio);
+        }
+    }
+
+    #[test]
+    fn display_contains_both_tables() {
+        let report = run(test_scale());
+        let text = report.to_string();
+        assert!(text.contains("Figure 5"));
+        assert!(text.contains("Table 4"));
+        assert!(text.contains("hit ratio"));
+    }
+}

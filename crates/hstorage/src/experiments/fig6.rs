@@ -1,0 +1,211 @@
+//! Figure 6 and Tables 5/6: queries dominated by random requests.
+//!
+//! Q9 and Q21 issue large numbers of random requests through index scans.
+//! The paper observes (1) a large SSD-only speedup (7.2x for Q9, 3.9x for
+//! Q21), (2) both LRU and hStorage-DB come close to the ideal case thanks
+//! to high cache hit ratios on the randomly accessed data (Table 5), and
+//! (3) for Q21 hStorage-DB trails LRU slightly because LRU also caches the
+//! sequentially scanned `lineitem` blocks that the index scan later hits
+//! (Table 6).
+
+use crate::experiments::{run_single_query, TimeRow};
+use crate::report::format_table;
+use hstorage_cache::StorageConfigKind;
+use hstorage_storage::RequestClass;
+use hstorage_tpch::{QueryId, TpchScale};
+use std::fmt;
+
+/// One per-priority cache-statistics row (Tables 5 and 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityStatsRow {
+    /// Which configuration the row belongs to ("hStorage-DB" or "LRU").
+    pub config: String,
+    /// Label: "priority 2", "priority 3" or "sequential".
+    pub group: String,
+    /// Blocks accessed.
+    pub accessed_blocks: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Hit ratio.
+    pub hit_ratio: f64,
+}
+
+/// Figure 6 + Tables 5 and 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomQueriesReport {
+    /// Execution times for Q9 and Q21 under the four configurations.
+    pub times: Vec<TimeRow>,
+    /// Table 5: per-priority cache statistics for Q9 under hStorage-DB.
+    pub table5: Vec<PriorityStatsRow>,
+    /// Table 6: per-priority + sequential statistics for Q21 under both
+    /// hStorage-DB and LRU.
+    pub table6: Vec<PriorityStatsRow>,
+}
+
+fn priority_rows(
+    storage: &hstorage_cache::CacheStats,
+    config: &str,
+    priorities: &[u8],
+    include_sequential: bool,
+) -> Vec<PriorityStatsRow> {
+    let mut rows = Vec::new();
+    for prio in priorities {
+        let c = storage.priority(*prio);
+        if c.accessed_blocks == 0 {
+            continue;
+        }
+        rows.push(PriorityStatsRow {
+            config: config.to_string(),
+            group: format!("priority {prio}"),
+            accessed_blocks: c.accessed_blocks,
+            cache_hits: c.cache_hits,
+            hit_ratio: c.hit_ratio(),
+        });
+    }
+    if include_sequential {
+        let c = storage.class(RequestClass::Sequential);
+        rows.push(PriorityStatsRow {
+            config: config.to_string(),
+            group: "sequential".to_string(),
+            accessed_blocks: c.accessed_blocks,
+            cache_hits: c.cache_hits,
+            hit_ratio: c.hit_ratio(),
+        });
+    }
+    rows
+}
+
+/// Runs the Figure 6 / Table 5 / Table 6 experiment.
+pub fn run(scale: TpchScale) -> RandomQueriesReport {
+    let mut times = Vec::new();
+    let mut table5 = Vec::new();
+    let mut table6 = Vec::new();
+
+    for q in [9u8, 21] {
+        let query = QueryId::Q(q);
+        for kind in StorageConfigKind::all() {
+            let (stats, storage) = run_single_query(scale, kind, query);
+            times.push(TimeRow::new(&query, kind, &stats));
+            match (q, kind) {
+                (9, StorageConfigKind::HStorageDb) => {
+                    table5 = priority_rows(&storage, "hStorage-DB", &[2, 3], false);
+                }
+                (21, StorageConfigKind::HStorageDb) => {
+                    table6.extend(priority_rows(&storage, "hStorage-DB", &[2, 3], true));
+                }
+                (21, StorageConfigKind::Lru) => {
+                    table6.extend(priority_rows(&storage, "LRU", &[2, 3], true));
+                }
+                _ => {}
+            }
+        }
+    }
+    RandomQueriesReport {
+        times,
+        table5,
+        table6,
+    }
+}
+
+impl RandomQueriesReport {
+    /// SSD-only speedup over HDD-only (paper: 7.2x for Q9, 3.9x for Q21).
+    pub fn ssd_speedup(&self, query: &str) -> Option<f64> {
+        let ssd = crate::experiments::time_of(&self.times, query, "SSD-only")?;
+        let hdd = crate::experiments::time_of(&self.times, query, "HDD-only")?;
+        Some(hdd / ssd)
+    }
+
+    /// hStorage-DB speedup over HDD-only.
+    pub fn hstorage_speedup(&self, query: &str) -> Option<f64> {
+        let h = crate::experiments::time_of(&self.times, query, "hStorage-DB")?;
+        let hdd = crate::experiments::time_of(&self.times, query, "HDD-only")?;
+        Some(hdd / h)
+    }
+
+    /// Hit ratio of one Table 5/6 group.
+    pub fn hit_ratio(rows: &[PriorityStatsRow], config: &str, group: &str) -> Option<f64> {
+        rows.iter()
+            .find(|r| r.config == config && r.group == group)
+            .map(|r| r.hit_ratio)
+    }
+}
+
+fn stats_table(rows: &[PriorityStatsRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.group.clone(),
+                r.accessed_blocks.to_string(),
+                r.cache_hits.to_string(),
+                format!("{:.1}%", r.hit_ratio * 100.0),
+            ]
+        })
+        .collect();
+    format_table(
+        &["config", "group", "# of accessed blks", "cache hits", "hit ratio"],
+        &body,
+    )
+}
+
+impl fmt::Display for RandomQueriesReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6 — execution times of random-dominated queries")?;
+        let rows: Vec<Vec<String>> = self
+            .times
+            .iter()
+            .map(|r| vec![r.query.clone(), r.config.clone(), format!("{:.3}", r.seconds)])
+            .collect();
+        write!(f, "{}", format_table(&["query", "config", "seconds"], &rows))?;
+        writeln!(f, "\nTable 5 — cache statistics for random requests of Q9 (hStorage-DB)")?;
+        write!(f, "{}", stats_table(&self.table5))?;
+        writeln!(f, "\nTable 6 — cache hits/misses for Q21")?;
+        write!(f, "{}", stats_table(&self.table6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_scale;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let report = run(test_scale());
+        assert_eq!(report.times.len(), 8);
+
+        // The SSD advantage is large for random-dominated queries.
+        assert!(report.ssd_speedup("Q9").unwrap() > 2.0);
+        assert!(report.ssd_speedup("Q21").unwrap() > 1.5);
+        // hStorage-DB recovers a substantial part of that advantage.
+        assert!(report.hstorage_speedup("Q9").unwrap() > 1.5);
+        assert!(report.hstorage_speedup("Q21").unwrap() > 1.2);
+
+        // Table 5: both priorities see high hit ratios for Q9.
+        assert!(!report.table5.is_empty());
+        for row in &report.table5 {
+            assert!(row.hit_ratio > 0.5, "{}: {}", row.group, row.hit_ratio);
+        }
+    }
+
+    #[test]
+    fn q21_lru_benefits_from_cached_sequential_blocks() {
+        let report = run(test_scale());
+        let lru_seq =
+            RandomQueriesReport::hit_ratio(&report.table6, "LRU", "sequential").unwrap();
+        let h_seq =
+            RandomQueriesReport::hit_ratio(&report.table6, "hStorage-DB", "sequential").unwrap();
+        // LRU caches the sequential lineitem blocks, hStorage-DB does not.
+        assert!(lru_seq > h_seq);
+    }
+
+    #[test]
+    fn display_contains_all_three_tables() {
+        let report = run(test_scale());
+        let text = report.to_string();
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("Table 6"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Experiment drivers: one module per table/figure of the paper's
+//! evaluation (Section 6).
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig4`] | Figure 4a/4b — request-type diversity per TPC-H query |
+//! | [`fig5`] | Figure 5 and Table 4 — sequential-dominated queries |
+//! | [`fig6`] | Figure 6, Tables 5 and 6 — random-dominated queries |
+//! | [`fig9`] | Figure 9 and Table 7 — temporary-data-dominated query |
+//! | [`fig11`] | Figure 11 and Table 8 — the power-test query sequence |
+//! | [`table9`] | Table 9 and Figure 12 — the concurrent throughput test |
+//! | [`ablation`] | Design-choice sweeps not in the paper (write-buffer size, priority-range width, TRIM on/off) |
+//!
+//! Every driver takes the TPC-H scale to run at and returns a plain data
+//! structure with a `Display` implementation that prints the same rows the
+//! paper reports.
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod table9;
+
+use crate::config::SystemConfig;
+use crate::system::TpchSystem;
+use hstorage_cache::{CacheStats, StorageConfigKind};
+use hstorage_engine::QueryStats;
+use hstorage_tpch::{QueryId, TpchScale};
+
+/// Runs `query` standalone (cold cache, cold buffer pool) on the given
+/// storage configuration and returns its execution statistics together
+/// with the storage statistics accumulated during the run.
+pub fn run_single_query(
+    scale: TpchScale,
+    kind: StorageConfigKind,
+    query: QueryId,
+) -> (QueryStats, CacheStats) {
+    let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
+    let stats = system.run(query);
+    (stats, system.storage_stats())
+}
+
+/// One (query, storage configuration, execution time) measurement, the
+/// building block of every execution-time figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeRow {
+    /// Query name.
+    pub query: String,
+    /// Storage configuration label.
+    pub config: String,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+}
+
+impl TimeRow {
+    pub(crate) fn new(query: &QueryId, kind: StorageConfigKind, stats: &QueryStats) -> Self {
+        TimeRow {
+            query: query.name(),
+            config: kind.label().to_string(),
+            seconds: stats.elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// Looks up the execution time of `(query, config)` in a set of rows.
+pub fn time_of(rows: &[TimeRow], query: &str, config: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.query == query && r.config == config)
+        .map(|r| r.seconds)
+}
+
+#[cfg(test)]
+pub(crate) fn test_scale() -> TpchScale {
+    TpchScale::new(0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_single_query_returns_consistent_stats() {
+        let (qstats, cstats) = run_single_query(
+            test_scale(),
+            StorageConfigKind::HStorageDb,
+            QueryId::Q(1),
+        );
+        assert!(qstats.total_blocks() > 0);
+        assert_eq!(cstats.totals().accessed_blocks, qstats.total_blocks());
+    }
+
+    #[test]
+    fn time_lookup() {
+        let rows = vec![
+            TimeRow {
+                query: "Q1".into(),
+                config: "LRU".into(),
+                seconds: 1.5,
+            },
+            TimeRow {
+                query: "Q1".into(),
+                config: "SSD-only".into(),
+                seconds: 0.5,
+            },
+        ];
+        assert_eq!(time_of(&rows, "Q1", "LRU"), Some(1.5));
+        assert_eq!(time_of(&rows, "Q2", "LRU"), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Table 9 and Figure 12: the concurrent throughput test.
+//!
+//! Section 6.4: three query streams and one update stream run concurrently
+//! at a reduced scale with a small buffer pool and a small SSD cache. The
+//! paper reports the TPC-H throughput metric per configuration (Table 9:
+//! 13 / 28 / 43 / 114) and, in Figure 12, compares the standalone execution
+//! times of Q9 and Q18 with their average times inside the throughput test
+//! to show that hStorage-DB's advantage *grows* under concurrency.
+
+use crate::report::format_table;
+use crate::{SystemConfig, TpchSystem};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::throughput::{query_stream, throughput_metric, update_stream, PAPER_QUERY_STREAMS};
+use hstorage_tpch::{QueryId, TpchScale};
+use std::fmt;
+
+/// Result of the throughput test for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Configuration label.
+    pub config: String,
+    /// Total simulated wall-clock of the test in seconds.
+    pub elapsed_seconds: f64,
+    /// The TPC-H throughput metric (queries per hour across the streams).
+    pub throughput: f64,
+    /// Average execution time of Q9 inside the test, in seconds.
+    pub q9_avg_seconds: f64,
+    /// Average execution time of Q18 inside the test, in seconds.
+    pub q18_avg_seconds: f64,
+}
+
+/// One Figure 12 comparison: standalone vs in-throughput execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Configuration label.
+    pub config: String,
+    /// Query name ("Q9" or "Q18").
+    pub query: String,
+    /// Standalone execution time (Figure 12a).
+    pub standalone_seconds: f64,
+    /// Average execution time inside the throughput test (Figure 12b).
+    pub concurrent_seconds: f64,
+}
+
+/// Table 9 + Figure 12 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// One row per configuration (Table 9).
+    pub rows: Vec<ThroughputRow>,
+    /// Figure 12 comparisons.
+    pub fig12: Vec<Fig12Row>,
+}
+
+/// Runs the throughput test under every configuration.
+pub fn run(scale: TpchScale) -> ThroughputReport {
+    let mut rows = Vec::new();
+    let mut fig12 = Vec::new();
+
+    for kind in StorageConfigKind::all() {
+        // Concurrent run: 3 query streams + 1 update stream.
+        let mut system = TpchSystem::new(SystemConfig::throughput(scale, kind));
+        let mut streams: Vec<(String, Vec<QueryId>)> = (0..PAPER_QUERY_STREAMS)
+            .map(|i| (format!("query-stream-{}", i + 1), query_stream(i)))
+            .collect();
+        streams.push(("update-stream".to_string(), update_stream(PAPER_QUERY_STREAMS)));
+        let completed = system.run_streams(&streams, 64);
+        let elapsed_seconds = system.storage_time().as_secs_f64();
+        let throughput = throughput_metric(PAPER_QUERY_STREAMS, elapsed_seconds);
+
+        let avg = |name: &str| -> f64 {
+            let times: Vec<f64> = completed
+                .iter()
+                .filter(|c| c.stats.name == name)
+                .map(|c| c.stats.elapsed.as_secs_f64())
+                .collect();
+            if times.is_empty() {
+                0.0
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            }
+        };
+        let q9_avg_seconds = avg("Q9");
+        let q18_avg_seconds = avg("Q18");
+
+        // Standalone runs for Figure 12a, at the same (throughput) scale.
+        for (query, concurrent) in [(QueryId::Q(9), q9_avg_seconds), (QueryId::Q(18), q18_avg_seconds)] {
+            let mut solo = TpchSystem::new(SystemConfig::throughput(scale, kind));
+            let stats = solo.run(query);
+            fig12.push(Fig12Row {
+                config: kind.label().to_string(),
+                query: query.name(),
+                standalone_seconds: stats.elapsed.as_secs_f64(),
+                concurrent_seconds: concurrent,
+            });
+        }
+
+        rows.push(ThroughputRow {
+            config: kind.label().to_string(),
+            elapsed_seconds,
+            throughput,
+            q9_avg_seconds,
+            q18_avg_seconds,
+        });
+    }
+    ThroughputReport { rows, fig12 }
+}
+
+impl ThroughputReport {
+    /// The row for one configuration.
+    pub fn row(&self, config: &str) -> Option<&ThroughputRow> {
+        self.rows.iter().find(|r| r.config == config)
+    }
+
+    /// hStorage-DB throughput speedup over the baseline (paper: 3.3x).
+    pub fn hstorage_over_hdd(&self) -> Option<f64> {
+        Some(self.row("hStorage-DB")?.throughput / self.row("HDD-only")?.throughput)
+    }
+
+    /// hStorage-DB throughput speedup over LRU (paper: 1.5x).
+    pub fn hstorage_over_lru(&self) -> Option<f64> {
+        Some(self.row("hStorage-DB")?.throughput / self.row("LRU")?.throughput)
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 9 — TPC-H throughput results")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.config.clone(),
+                    format!("{:.1}", r.throughput),
+                    format!("{:.1}", r.elapsed_seconds),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(&["config", "throughput (queries/hour)", "elapsed (s)"], &rows)
+        )?;
+        writeln!(f, "\nFigure 12 — Q9/Q18 standalone vs throughput-test average (seconds)")?;
+        let rows: Vec<Vec<String>> = self
+            .fig12
+            .iter()
+            .map(|r| {
+                vec![
+                    r.query.clone(),
+                    r.config.clone(),
+                    format!("{:.3}", r.standalone_seconds),
+                    format!("{:.3}", r.concurrent_seconds),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(&["query", "config", "standalone", "in throughput test"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The throughput test is the heaviest experiment; run it at a very
+    // small scale in unit tests (the benchmark harness uses larger scales).
+    fn tiny_scale() -> TpchScale {
+        TpchScale::new(0.01)
+    }
+
+    #[test]
+    fn throughput_ordering_matches_the_paper() {
+        let report = run(tiny_scale());
+        assert_eq!(report.rows.len(), 4);
+        let hdd = report.row("HDD-only").unwrap().throughput;
+        let lru = report.row("LRU").unwrap().throughput;
+        let h = report.row("hStorage-DB").unwrap().throughput;
+        let ssd = report.row("SSD-only").unwrap().throughput;
+        // Table 9 ordering: HDD-only < LRU < hStorage-DB < SSD-only.
+        assert!(hdd < lru, "HDD {hdd} !< LRU {lru}");
+        assert!(lru < h, "LRU {lru} !< hStorage {h}");
+        assert!(h < ssd, "hStorage {h} !< SSD {ssd}");
+        assert!(report.hstorage_over_hdd().unwrap() > 1.3);
+        assert!(report.hstorage_over_lru().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn fig12_concurrent_times_exceed_standalone() {
+        let report = run(tiny_scale());
+        assert_eq!(report.fig12.len(), 8);
+        for row in &report.fig12 {
+            assert!(
+                row.concurrent_seconds >= row.standalone_seconds * 0.9,
+                "{} {} concurrent {} vs standalone {}",
+                row.config,
+                row.query,
+                row.concurrent_seconds,
+                row.standalone_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn display_contains_table9_and_fig12() {
+        let report = run(tiny_scale());
+        let text = report.to_string();
+        assert!(text.contains("Table 9"));
+        assert!(text.contains("Figure 12"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Report formatting: plain-text tables and paper-vs-measured comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One paper-vs-measured comparison row, used by EXPERIMENTS.md and the
+/// benchmark harness output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperComparison {
+    /// What is being compared ("Q9 SSD-only/HDD-only speedup", …).
+    pub metric: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measures.
+    pub measured: f64,
+}
+
+impl PaperComparison {
+    /// Creates a comparison row.
+    pub fn new(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
+        PaperComparison {
+            metric: metric.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Whether paper and measured values agree in *direction* relative to
+    /// 1.0 (both are speedups > 1, both are slowdowns < 1, or both ≈ 1).
+    pub fn same_direction(&self) -> bool {
+        let side = |v: f64| {
+            if v > 1.05 {
+                1
+            } else if v < 0.95 {
+                -1
+            } else {
+                0
+            }
+        };
+        side(self.paper) == side(self.measured) || side(self.measured) == 0 || side(self.paper) == 0
+    }
+}
+
+/// Renders a simple aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "| {cell:<w$} ");
+        }
+        out.push_str("|\n");
+    };
+    render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    render_row(&sep, &widths, &mut out);
+    for row in rows {
+        render_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders a table of (label, duration) pairs in seconds.
+pub fn format_duration_table(title: &str, rows: &[(String, Duration)]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, d)| vec![label.clone(), format!("{:.3}", d.as_secs_f64())])
+        .collect();
+    format!("{title}\n{}", format_table(&["case", "seconds"], &body))
+}
+
+/// Formats a ratio ("3.3x") for report text.
+pub fn format_speedup(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_all_cells() {
+        let s = format_table(
+            &["query", "seconds"],
+            &[
+                vec!["Q1".into(), "317".into()],
+                vec!["Q19".into(), "252".into()],
+            ],
+        );
+        assert!(s.contains("Q1"));
+        assert!(s.contains("317"));
+        assert!(s.contains("Q19"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|')));
+    }
+
+    #[test]
+    fn duration_table_formats_seconds() {
+        let s = format_duration_table(
+            "Fig 5",
+            &[("HDD-only".to_string(), Duration::from_millis(1500))],
+        );
+        assert!(s.starts_with("Fig 5"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn comparison_direction() {
+        assert!(PaperComparison::new("a", 7.2, 4.0).same_direction());
+        assert!(PaperComparison::new("b", 0.8, 0.7).same_direction());
+        assert!(!PaperComparison::new("c", 3.0, 0.5).same_direction());
+        assert!(PaperComparison::new("d", 1.0, 2.0).same_direction());
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(format_speedup(3.275), "3.27x");
+    }
+}

@@ -1,0 +1,191 @@
+//! Block addressing.
+//!
+//! The storage space is a flat array of fixed-size blocks. A [`BlockAddr`]
+//! is a logical block number (LBN) as seen by the DBMS; the hybrid cache
+//! internally remaps cached blocks to physical SSD block numbers (PBN), but
+//! that mapping never leaves the storage system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of one storage block in bytes.
+///
+/// The paper's DBMS is PostgreSQL, whose page size is 8 KiB; all block
+/// counts in the evaluation are in this unit.
+pub const BLOCK_SIZE: usize = 8 * 1024;
+
+/// A logical block number in the storage address space exposed to the DBMS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Returns the block address `n` blocks after this one.
+    #[inline]
+    pub fn offset(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0 + n)
+    }
+
+    /// Byte offset of the start of this block.
+    #[inline]
+    pub fn byte_offset(self) -> u64 {
+        self.0 * BLOCK_SIZE as u64
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lbn#{}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+/// A contiguous, half-open range of logical blocks `[start, start + len)`.
+///
+/// Ranges are the unit in which the physical layout assigns space to
+/// tables, indexes and temporary files. The `Default` range is empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockRange {
+    /// First block of the range.
+    pub start: BlockAddr,
+    /// Number of blocks in the range.
+    pub len: u64,
+}
+
+impl BlockRange {
+    /// Creates a new range starting at `start` containing `len` blocks.
+    pub fn new(start: impl Into<BlockAddr>, len: u64) -> Self {
+        BlockRange {
+            start: start.into(),
+            len,
+        }
+    }
+
+    /// An empty range at address zero.
+    pub fn empty() -> Self {
+        BlockRange {
+            start: BlockAddr(0),
+            len: 0,
+        }
+    }
+
+    /// Whether the range contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One-past-the-end block address.
+    pub fn end(&self) -> BlockAddr {
+        BlockAddr(self.start.0 + self.len)
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.len
+    }
+
+    /// Iterator over every block address in the range.
+    pub fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        (self.start.0..self.start.0 + self.len).map(BlockAddr)
+    }
+
+    /// Total size of the range in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * BLOCK_SIZE as u64
+    }
+
+    /// Splits the range in two at `at` blocks from the start.
+    ///
+    /// Returns `(first, second)` where `first` has `min(at, len)` blocks.
+    pub fn split_at(&self, at: u64) -> (BlockRange, BlockRange) {
+        let first_len = at.min(self.len);
+        (
+            BlockRange::new(self.start, first_len),
+            BlockRange::new(self.start.offset(first_len), self.len - first_len),
+        )
+    }
+
+    /// Whether two ranges overlap in at least one block.
+    pub fn overlaps(&self, other: &BlockRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.start.0 < other.end().0 && other.start.0 < self.end().0
+    }
+}
+
+impl fmt::Display for BlockRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start.0, self.start.0 + self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_offset_and_bytes() {
+        let a = BlockAddr(10);
+        assert_eq!(a.offset(5), BlockAddr(15));
+        assert_eq!(a.byte_offset(), 10 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn range_contains_boundaries() {
+        let r = BlockRange::new(100u64, 10);
+        assert!(r.contains(BlockAddr(100)));
+        assert!(r.contains(BlockAddr(109)));
+        assert!(!r.contains(BlockAddr(110)));
+        assert!(!r.contains(BlockAddr(99)));
+    }
+
+    #[test]
+    fn range_end_and_bytes() {
+        let r = BlockRange::new(4u64, 4);
+        assert_eq!(r.end(), BlockAddr(8));
+        assert_eq!(r.bytes(), 4 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn range_iter_yields_each_block() {
+        let r = BlockRange::new(2u64, 3);
+        let v: Vec<u64> = r.iter().map(|b| b.0).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn range_split_at_middle_and_past_end() {
+        let r = BlockRange::new(0u64, 10);
+        let (a, b) = r.split_at(4);
+        assert_eq!(a.len, 4);
+        assert_eq!(b.start, BlockAddr(4));
+        assert_eq!(b.len, 6);
+
+        let (a, b) = r.split_at(20);
+        assert_eq!(a.len, 10);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = BlockRange::new(0u64, 10);
+        let b = BlockRange::new(9u64, 5);
+        let c = BlockRange::new(10u64, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&BlockRange::empty()));
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let e = BlockRange::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(BlockAddr(0)));
+        assert_eq!(e.iter().count(), 0);
+    }
+}

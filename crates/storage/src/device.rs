@@ -1,0 +1,93 @@
+//! The device abstraction shared by the HDD and SSD models.
+//!
+//! A device computes a *service time* for each request from its performance
+//! model, advances the shared [`SimClock`](crate::clock::SimClock) by that
+//! amount, and updates its counters. Devices do not store data contents —
+//! the experiments only depend on timing and on block identity, which the
+//! cache layer tracks.
+
+use crate::request::IoRequest;
+use crate::stats::DeviceStats;
+use std::time::Duration;
+
+/// Which kind of device a model represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Hard disk drive (second level of the hybrid hierarchy).
+    Hdd,
+    /// Solid-state drive (first level / cache device).
+    Ssd,
+}
+
+/// A simulated block device.
+pub trait StorageDevice: Send {
+    /// The kind of device.
+    fn kind(&self) -> DeviceKind;
+
+    /// Capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Computes the service time of `req` *without* advancing the clock or
+    /// updating statistics. Pure function of the model and internal head
+    /// state; used by tests and by the cache to reason about costs.
+    fn service_time(&mut self, req: &IoRequest) -> Duration;
+
+    /// Serves the request: computes the service time, advances the shared
+    /// clock, updates statistics, and returns the service time.
+    fn serve(&mut self, req: &IoRequest) -> Duration;
+
+    /// Snapshot of the device statistics.
+    fn stats(&self) -> DeviceStats;
+
+    /// Clears statistics (does not reset mechanical state).
+    fn reset_stats(&mut self);
+}
+
+/// Records a served request into `stats`.
+pub(crate) fn record(stats: &mut DeviceStats, req: &IoRequest, service: Duration) {
+    match req.direction {
+        crate::request::Direction::Read => {
+            stats.read_requests += 1;
+            stats.blocks_read += req.blocks();
+        }
+        crate::request::Direction::Write => {
+            stats.write_requests += 1;
+            stats.blocks_written += req.blocks();
+        }
+    }
+    if req.sequential {
+        stats.sequential_requests += 1;
+    } else {
+        stats.random_requests += 1;
+    }
+    stats.busy_time += service;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockRange;
+    use crate::request::IoRequest;
+
+    #[test]
+    fn record_updates_counters() {
+        let mut s = DeviceStats::new();
+        record(
+            &mut s,
+            &IoRequest::read(BlockRange::new(0u64, 4), true),
+            Duration::from_micros(100),
+        );
+        record(
+            &mut s,
+            &IoRequest::write(BlockRange::new(4u64, 2), false),
+            Duration::from_micros(50),
+        );
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.blocks_read, 4);
+        assert_eq!(s.blocks_written, 2);
+        assert_eq!(s.sequential_requests, 1);
+        assert_eq!(s.random_requests, 1);
+        assert_eq!(s.busy_time, Duration::from_micros(150));
+    }
+}

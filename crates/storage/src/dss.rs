@@ -1,0 +1,76 @@
+//! Differentiated Storage Services (DSS) request tagging.
+//!
+//! The DSS protocol (Mesnier et al., SOSP 2011) lets an I/O request carry a
+//! classification in addition to its physical information, while remaining
+//! backward compatible with plain block interfaces: a legacy storage system
+//! simply ignores the tag.
+//!
+//! In this reproduction the "wire format" is the [`ClassifiedRequest`]
+//! struct: the plain [`IoRequest`] plus the QoS policy and the request
+//! class. Storage configurations that understand DSS (the hStorage-DB
+//! hybrid cache) extract the policy; legacy configurations (HDD-only,
+//! SSD-only, the LRU cache) look only at the embedded `IoRequest`.
+
+use crate::policy::QosPolicy;
+use crate::request::{IoRequest, RequestClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An I/O request together with the semantic classification and QoS policy
+/// assigned by the DBMS storage manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedRequest {
+    /// The physical request (block range, direction, sequentiality).
+    pub io: IoRequest,
+    /// The request class derived from semantic information (Section 4.1).
+    pub class: RequestClass,
+    /// The QoS policy assigned by the policy assignment table (Table 1).
+    pub policy: QosPolicy,
+}
+
+impl ClassifiedRequest {
+    /// Creates a classified request.
+    pub fn new(io: IoRequest, class: RequestClass, policy: QosPolicy) -> Self {
+        ClassifiedRequest { io, class, policy }
+    }
+
+    /// Backward compatibility: drops the classification, leaving the plain
+    /// block-interface request a legacy storage system would see.
+    pub fn into_legacy(self) -> IoRequest {
+        self.io
+    }
+
+    /// Number of blocks touched by the request.
+    pub fn blocks(&self) -> u64 {
+        self.io.blocks()
+    }
+}
+
+impl fmt::Display for ClassifiedRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} → {}]", self.io, self.class, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockRange;
+
+    #[test]
+    fn legacy_view_strips_classification() {
+        let io = IoRequest::read(BlockRange::new(7u64, 3), false);
+        let c = ClassifiedRequest::new(io, RequestClass::Random, QosPolicy::priority(2));
+        assert_eq!(c.into_legacy(), io);
+        assert_eq!(c.blocks(), 3);
+    }
+
+    #[test]
+    fn display_includes_class_and_policy() {
+        let io = IoRequest::write(BlockRange::new(0u64, 1), true);
+        let c = ClassifiedRequest::new(io, RequestClass::Update, QosPolicy::WriteBuffer);
+        let s = format!("{c}");
+        assert!(s.contains("update"));
+        assert!(s.contains("write-buffer"));
+    }
+}

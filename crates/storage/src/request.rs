@@ -1,0 +1,167 @@
+//! I/O requests as issued by the DBMS storage manager.
+//!
+//! A request is the physical-layout view of a data access: a contiguous
+//! range of logical blocks, a direction, and (in hStorage-DB) the request
+//! class derived from semantic information. The storage manager attaches a
+//! QoS policy to the request via the [`crate::dss`] layer.
+
+use crate::block::BlockRange;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl Direction {
+    /// `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, Direction::Write)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Read => write!(f, "read"),
+            Direction::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// The request classes of Section 4.1.
+///
+/// Classification is performed by the DBMS storage manager from semantic
+/// information; the storage system itself never needs to re-derive it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum RequestClass {
+    /// Sequential requests (table scans). Rule 1.
+    Sequential,
+    /// Random requests (index scans and index-driven table accesses). Rule 2.
+    Random,
+    /// Reads and writes of temporary data during its lifetime. Rule 3.
+    TemporaryData,
+    /// The deletion/TRIM of temporary data at the end of its lifetime. Rule 3.
+    TemporaryDataTrim,
+    /// Update (write) requests from the application. Rule 4.
+    Update,
+}
+
+impl RequestClass {
+    /// Short label used by the Figure-4 style diversity reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Sequential => "sequential",
+            RequestClass::Random => "random",
+            RequestClass::TemporaryData => "temporary",
+            RequestClass::TemporaryDataTrim => "temp-trim",
+            RequestClass::Update => "update",
+        }
+    }
+
+    /// All classes, in reporting order.
+    pub fn all() -> [RequestClass; 5] {
+        [
+            RequestClass::Sequential,
+            RequestClass::Random,
+            RequestClass::TemporaryData,
+            RequestClass::TemporaryDataTrim,
+            RequestClass::Update,
+        ]
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single block-level I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// The contiguous blocks touched by the request.
+    pub range: BlockRange,
+    /// Read or write.
+    pub direction: Direction,
+    /// Whether the request is part of a sequential stream (consecutive to
+    /// the previous request of the same stream). Devices use this to decide
+    /// between sequential-bandwidth and random-IOPS service time.
+    pub sequential: bool,
+}
+
+impl IoRequest {
+    /// Creates a read request.
+    pub fn read(range: BlockRange, sequential: bool) -> Self {
+        IoRequest {
+            range,
+            direction: Direction::Read,
+            sequential,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(range: BlockRange, sequential: bool) -> Self {
+        IoRequest {
+            range,
+            direction: Direction::Write,
+            sequential,
+        }
+    }
+
+    /// Number of blocks touched.
+    pub fn blocks(&self) -> u64 {
+        self.range.len
+    }
+
+    /// Number of bytes touched.
+    pub fn bytes(&self) -> u64 {
+        self.range.bytes()
+    }
+}
+
+impl fmt::Display for IoRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({} blocks, {})",
+            self.direction,
+            self.range,
+            self.blocks(),
+            if self.sequential { "seq" } else { "rand" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockRange, BLOCK_SIZE};
+
+    #[test]
+    fn read_and_write_constructors() {
+        let r = IoRequest::read(BlockRange::new(0u64, 8), true);
+        assert_eq!(r.direction, Direction::Read);
+        assert!(r.sequential);
+        assert_eq!(r.blocks(), 8);
+        assert_eq!(r.bytes(), 8 * BLOCK_SIZE as u64);
+
+        let w = IoRequest::write(BlockRange::new(8u64, 1), false);
+        assert!(w.direction.is_write());
+        assert!(!w.sequential);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            RequestClass::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), RequestClass::all().len());
+    }
+}

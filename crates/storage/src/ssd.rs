@@ -1,0 +1,201 @@
+//! Solid-state drive model.
+//!
+//! The cache device in the paper is an Intel 320 Series 300 GB SSD, whose
+//! key specification is given in Table 2:
+//!
+//! | Sequential Read / Write | Random Read / Write |
+//! |---|---|
+//! | 270 MB/s / 205 MB/s | 39.5 K IOPS / 23 K IOPS |
+//!
+//! The model charges sequential requests at the sequential bandwidth and
+//! random requests per block at the rated IOPS (Table 2 IOPS are 4 KiB;
+//! we conservatively charge one IO per 8 KiB database block).
+
+use crate::block::BLOCK_SIZE;
+use crate::clock::SimClock;
+use crate::device::{record, DeviceKind, StorageDevice};
+use crate::request::{Direction, IoRequest};
+use crate::stats::DeviceStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Tunable parameters of the SSD service-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdParameters {
+    /// Capacity in blocks.
+    pub capacity_blocks: u64,
+    /// Sequential read bandwidth, bytes/second.
+    pub sequential_read_bandwidth: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub sequential_write_bandwidth: f64,
+    /// Random read throughput in IO operations per second.
+    pub random_read_iops: f64,
+    /// Random write throughput in IO operations per second.
+    pub random_write_iops: f64,
+    /// Fixed per-request command overhead.
+    pub command_overhead: Duration,
+}
+
+impl SsdParameters {
+    /// The Intel 320 Series 300 GB specification from Table 2 of the paper.
+    pub fn intel_320() -> Self {
+        SsdParameters {
+            capacity_blocks: (300u64 * 1_000_000_000) / BLOCK_SIZE as u64,
+            sequential_read_bandwidth: 270.0e6,
+            sequential_write_bandwidth: 205.0e6,
+            random_read_iops: 39_500.0,
+            random_write_iops: 23_000.0,
+            command_overhead: Duration::from_micros(20),
+        }
+    }
+}
+
+impl Default for SsdParameters {
+    fn default() -> Self {
+        Self::intel_320()
+    }
+}
+
+/// A simulated solid-state drive.
+#[derive(Debug)]
+pub struct SsdDevice {
+    params: SsdParameters,
+    clock: SimClock,
+    stats: DeviceStats,
+}
+
+impl SsdDevice {
+    /// Creates an SSD with the given parameters sharing `clock`.
+    pub fn new(params: SsdParameters, clock: SimClock) -> Self {
+        SsdDevice {
+            params,
+            clock,
+            stats: DeviceStats::new(),
+        }
+    }
+
+    /// Creates an SSD with the Intel 320 parameters of Table 2.
+    pub fn intel_320(clock: SimClock) -> Self {
+        Self::new(SsdParameters::intel_320(), clock)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &SsdParameters {
+        &self.params
+    }
+}
+
+impl StorageDevice for SsdDevice {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Ssd
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.params.capacity_blocks
+    }
+
+    fn service_time(&mut self, req: &IoRequest) -> Duration {
+        let t = if req.sequential {
+            let bw = match req.direction {
+                Direction::Read => self.params.sequential_read_bandwidth,
+                Direction::Write => self.params.sequential_write_bandwidth,
+            };
+            Duration::from_secs_f64(req.bytes() as f64 / bw)
+        } else {
+            let iops = match req.direction {
+                Direction::Read => self.params.random_read_iops,
+                Direction::Write => self.params.random_write_iops,
+            };
+            Duration::from_secs_f64(req.blocks() as f64 / iops)
+        };
+        t + self.params.command_overhead
+    }
+
+    fn serve(&mut self, req: &IoRequest) -> Duration {
+        let t = self.service_time(req);
+        self.clock.advance(t);
+        record(&mut self.stats, req, t);
+        t
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DeviceStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockRange;
+    use crate::hdd::HddDevice;
+
+    fn ssd() -> SsdDevice {
+        SsdDevice::intel_320(SimClock::new())
+    }
+
+    #[test]
+    fn random_read_latency_matches_iops() {
+        let mut d = ssd();
+        let t = d.service_time(&IoRequest::read(BlockRange::new(0u64, 1), false));
+        let expected = Duration::from_secs_f64(1.0 / 39_500.0);
+        assert!(t >= expected);
+        assert!(t < expected + Duration::from_micros(100));
+    }
+
+    #[test]
+    fn random_writes_slower_than_random_reads() {
+        let mut d = ssd();
+        let r = d.service_time(&IoRequest::read(BlockRange::new(0u64, 64), false));
+        let w = d.service_time(&IoRequest::write(BlockRange::new(0u64, 64), false));
+        assert!(w > r);
+    }
+
+    #[test]
+    fn sequential_read_faster_than_sequential_write() {
+        let mut d = ssd();
+        let blocks = (64 << 20) / BLOCK_SIZE as u64;
+        let r = d.service_time(&IoRequest::read(BlockRange::new(0u64, blocks), true));
+        let w = d.service_time(&IoRequest::write(BlockRange::new(0u64, blocks), true));
+        assert!(r < w);
+    }
+
+    #[test]
+    fn ssd_dominates_hdd_for_random_but_not_sequential() {
+        // This is the central device-level premise of the paper (Section
+        // 4.2.1): HDD sequential performance is comparable to the SSD, but
+        // random performance is far worse.
+        let clock = SimClock::new();
+        let mut ssd = SsdDevice::intel_320(clock.clone());
+        let mut hdd = HddDevice::cheetah(clock);
+
+        let seq = IoRequest::read(BlockRange::new(0u64, (8 << 20) / BLOCK_SIZE as u64), true);
+        let ssd_seq = ssd.service_time(&seq);
+        let hdd_seq = hdd.service_time(&seq);
+        assert!(hdd_seq < ssd_seq * 4, "HDD sequential should be comparable");
+
+        let rand = IoRequest::read(BlockRange::new(123_456u64, 1), false);
+        let ssd_rand = ssd.service_time(&rand);
+        let hdd_rand = hdd.service_time(&rand);
+        assert!(
+            hdd_rand > ssd_rand * 20,
+            "HDD random should be far slower: {hdd_rand:?} vs {ssd_rand:?}"
+        );
+    }
+
+    #[test]
+    fn serve_accumulates_stats_and_clock() {
+        let clock = SimClock::new();
+        let mut d = SsdDevice::intel_320(clock.clone());
+        d.serve(&IoRequest::read(BlockRange::new(0u64, 2), false));
+        d.serve(&IoRequest::write(BlockRange::new(2u64, 2), true));
+        let s = d.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.total_blocks(), 4);
+        assert_eq!(clock.now(), s.busy_time);
+    }
+}

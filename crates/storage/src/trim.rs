@@ -1,0 +1,50 @@
+//! The TRIM command.
+//!
+//! Section 4.2.3: when a temporary file is deleted, the file system only
+//! updates its metadata; the storage system never learns that the blocks
+//! are dead, so stale temporary data would pin cache space at the highest
+//! priority. The TRIM command (or, for legacy file systems, a sequential
+//! scan of the file issued with the "non-caching and eviction" policy)
+//! informs the storage system which LBA ranges have become useless so it
+//! can evict them immediately.
+
+use crate::block::BlockRange;
+use serde::{Deserialize, Serialize};
+
+/// A TRIM command covering one or more LBA ranges that have become useless.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrimCommand {
+    /// Ranges whose contents are dead.
+    pub ranges: Vec<BlockRange>,
+}
+
+impl TrimCommand {
+    /// TRIM of a single range.
+    pub fn single(range: BlockRange) -> Self {
+        TrimCommand {
+            ranges: vec![range],
+        }
+    }
+
+    /// TRIM of several ranges.
+    pub fn new(ranges: Vec<BlockRange>) -> Self {
+        TrimCommand { ranges }
+    }
+
+    /// Total number of blocks trimmed.
+    pub fn blocks(&self) -> u64 {
+        self.ranges.iter().map(|r| r.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_blocks_across_ranges() {
+        let t = TrimCommand::new(vec![BlockRange::new(0u64, 10), BlockRange::new(100u64, 5)]);
+        assert_eq!(t.blocks(), 15);
+        assert_eq!(TrimCommand::single(BlockRange::new(0u64, 1)).blocks(), 1);
+    }
+}

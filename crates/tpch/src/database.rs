@@ -1,0 +1,141 @@
+//! The physical layout of the TPC-H database.
+//!
+//! Tables are laid out contiguously (largest first, as dbgen loads them),
+//! followed by the nine indexes of Table 3 and a region reserved for
+//! temporary files. Every object is registered in an engine
+//! [`Catalog`](hstorage_engine::Catalog) so that query plans can reference
+//! it by [`ObjectId`](hstorage_engine::ObjectId).
+
+use crate::scale::TpchScale;
+use crate::schema::{TpchIndex, TpchTable};
+use hstorage_engine::{Catalog, ObjectId, ObjectKind};
+use hstorage_storage::BlockRange;
+use std::collections::HashMap;
+
+/// A fully laid-out TPC-H database instance.
+#[derive(Debug, Clone)]
+pub struct TpchDatabase {
+    /// The engine catalog with every table, index and the temp region.
+    pub catalog: Catalog,
+    /// The scale used to size the database.
+    pub scale: TpchScale,
+    tables: HashMap<TpchTable, ObjectId>,
+    indexes: HashMap<TpchIndex, ObjectId>,
+}
+
+impl TpchDatabase {
+    /// Builds the database at the given scale.
+    pub fn build(scale: TpchScale) -> Self {
+        let mut catalog = Catalog::new();
+        let mut tables = HashMap::new();
+        let mut indexes = HashMap::new();
+        let mut cursor = 0u64;
+
+        for table in TpchTable::all() {
+            let blocks = scale.table_blocks(table);
+            let oid = catalog.register(
+                table.name(),
+                ObjectKind::Table,
+                BlockRange::new(cursor, blocks),
+            );
+            tables.insert(table, oid);
+            cursor += blocks;
+        }
+        for index in TpchIndex::all() {
+            let blocks = scale.index_blocks(index);
+            let oid = catalog.register(
+                index.name(),
+                ObjectKind::Index,
+                BlockRange::new(cursor, blocks),
+            );
+            indexes.insert(index, oid);
+            cursor += blocks;
+        }
+        // Reserve a temp region the size of the largest table: TPC-H spills
+        // never exceed a fraction of lineitem.
+        let temp_blocks = scale.table_blocks(TpchTable::Lineitem).max(1024);
+        catalog.set_temp_region(BlockRange::new(cursor, temp_blocks));
+
+        TpchDatabase {
+            catalog,
+            scale,
+            tables,
+            indexes,
+        }
+    }
+
+    /// The object id of a table.
+    pub fn table(&self, table: TpchTable) -> ObjectId {
+        self.tables[&table]
+    }
+
+    /// The object id of an index.
+    pub fn index(&self, index: TpchIndex) -> ObjectId {
+        self.indexes[&index]
+    }
+
+    /// Number of blocks a table occupies.
+    pub fn table_blocks(&self, table: TpchTable) -> u64 {
+        self.scale.table_blocks(table)
+    }
+
+    /// Number of blocks an index occupies.
+    pub fn index_blocks(&self, index: TpchIndex) -> u64 {
+        self.scale.index_blocks(index)
+    }
+
+    /// Total data blocks (tables + indexes, excluding the temp region).
+    pub fn data_blocks(&self) -> u64 {
+        self.scale.total_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_objects_are_registered_without_overlap() {
+        let db = TpchDatabase::build(TpchScale::new(0.1));
+        assert_eq!(db.catalog.len(), 8 + 9);
+        let mut ranges: Vec<BlockRange> = db.catalog.iter().map(|o| o.range).collect();
+        ranges.push(db.catalog.temp_region());
+        for i in 0..ranges.len() {
+            for j in (i + 1)..ranges.len() {
+                assert!(
+                    !ranges[i].overlaps(&ranges[j]),
+                    "{:?} overlaps {:?}",
+                    ranges[i],
+                    ranges[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_sizes_match_scale() {
+        let scale = TpchScale::new(0.2);
+        let db = TpchDatabase::build(scale);
+        for table in TpchTable::all() {
+            let oid = db.table(table);
+            assert_eq!(
+                db.catalog.get(oid).unwrap().range.len,
+                scale.table_blocks(table)
+            );
+        }
+        for index in TpchIndex::all() {
+            let oid = db.index(index);
+            assert_eq!(
+                db.catalog.get(oid).unwrap().range.len,
+                scale.index_blocks(index)
+            );
+        }
+        assert_eq!(db.catalog.data_blocks(), scale.total_blocks());
+    }
+
+    #[test]
+    fn temp_region_is_big_enough_for_spills() {
+        let db = TpchDatabase::build(TpchScale::new(0.05));
+        assert!(db.catalog.temp_region().len >= 1024);
+    }
+}

@@ -1,0 +1,71 @@
+//! The TPC-H power-test ordering.
+//!
+//! Section 6.3.4 of the paper runs "a stream of 'randomly' ordered queries
+//! … the order of power test by the TPC-H specification", with RF1 at the
+//! beginning and RF2 at the end. This module provides that ordering
+//! (query stream 00 of Appendix A of the TPC-H specification).
+
+use crate::queries::QueryId;
+
+/// The query permutation of stream 00 from the TPC-H specification.
+pub const POWER_TEST_QUERY_ORDER: [u8; 22] = [
+    14, 2, 9, 20, 6, 17, 18, 8, 21, 13, 3, 22, 16, 4, 11, 15, 1, 10, 19, 5, 7, 12,
+];
+
+/// The full power-test sequence: RF1, the 22 queries in the stream-00
+/// order, then RF2 — exactly the sequence behind Figure 11 and Table 8.
+pub fn power_test_sequence() -> Vec<QueryId> {
+    let mut seq = Vec::with_capacity(24);
+    seq.push(QueryId::Rf1);
+    seq.extend(POWER_TEST_QUERY_ORDER.iter().map(|&n| QueryId::Q(n)));
+    seq.push(QueryId::Rf2);
+    seq
+}
+
+/// The paper plots short and long queries separately for readability
+/// (Figure 11a/11b). A query is "long" if the paper's HDD-only execution
+/// time exceeds roughly 1,000 seconds; that set is dominated by the
+/// lineitem-heavy queries.
+pub fn is_long_query(query: QueryId) -> bool {
+    matches!(
+        query,
+        QueryId::Q(1)
+            | QueryId::Q(5)
+            | QueryId::Q(7)
+            | QueryId::Q(8)
+            | QueryId::Q(9)
+            | QueryId::Q(18)
+            | QueryId::Q(21)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_contains_every_query_once() {
+        let seq = power_test_sequence();
+        assert_eq!(seq.len(), 24);
+        assert_eq!(seq[0], QueryId::Rf1);
+        assert_eq!(*seq.last().unwrap(), QueryId::Rf2);
+        let mut numbers: Vec<u8> = seq
+            .iter()
+            .filter_map(|q| match q {
+                QueryId::Q(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        numbers.sort_unstable();
+        assert_eq!(numbers, (1..=22).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn long_and_short_queries_partition_the_set() {
+        let long = QueryId::all_queries()
+            .into_iter()
+            .filter(|q| is_long_query(*q))
+            .count();
+        assert!(long >= 5 && long <= 10);
+    }
+}

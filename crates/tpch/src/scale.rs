@@ -1,0 +1,150 @@
+//! Scale-dependent sizing of tables and indexes.
+
+use crate::schema::{TpchIndex, TpchTable};
+use hstorage_storage::BLOCK_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// A TPC-H scale factor.
+///
+/// The paper uses SF 30 (a 46 GB database including the indexes) for the
+/// single-query experiments and SF 10 (16 GB) for the throughput test. The
+/// reproduction defaults to a reduced scale so every experiment runs in
+/// seconds; all sizes — and the SSD cache size — are derived from the same
+/// scale factor, so the cache:data ratio of the paper is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpchScale {
+    /// The scale factor (1.0 ≈ 1 GB of raw data).
+    pub scale_factor: f64,
+}
+
+impl TpchScale {
+    /// Creates a scale.
+    pub fn new(scale_factor: f64) -> Self {
+        assert!(scale_factor > 0.0, "scale factor must be positive");
+        TpchScale { scale_factor }
+    }
+
+    /// The default reduced scale used by the experiment harness.
+    pub fn experiment_default() -> Self {
+        TpchScale::new(0.25)
+    }
+
+    /// Number of rows of a table at this scale.
+    pub fn rows(&self, table: TpchTable) -> u64 {
+        if table.scales() {
+            ((table.rows_per_sf() as f64) * self.scale_factor).ceil() as u64
+        } else {
+            table.rows_per_sf()
+        }
+    }
+
+    /// Number of 8 KiB blocks a table occupies at this scale (at least 1).
+    pub fn table_blocks(&self, table: TpchTable) -> u64 {
+        let bytes = self.rows(table) * table.row_bytes();
+        (bytes / BLOCK_SIZE as u64).max(1)
+    }
+
+    /// Number of blocks an index occupies at this scale (at least 1).
+    pub fn index_blocks(&self, index: TpchIndex) -> u64 {
+        let bytes = self.rows(index.table()) * index.entry_bytes();
+        (bytes / BLOCK_SIZE as u64).max(1)
+    }
+
+    /// Total data blocks (tables + indexes).
+    pub fn total_blocks(&self) -> u64 {
+        let tables: u64 = TpchTable::all().iter().map(|t| self.table_blocks(*t)).sum();
+        let indexes: u64 = TpchIndex::all().iter().map(|i| self.index_blocks(*i)).sum();
+        tables + indexes
+    }
+
+    /// The cache size (in blocks) that preserves the paper's single-query
+    /// cache:data ratio (32 GB of SSD cache over a 46 GB database).
+    pub fn paper_single_query_cache_blocks(&self) -> u64 {
+        (self.total_blocks() as f64 * 32.0 / 46.0).round() as u64
+    }
+
+    /// The cache size (in blocks) that preserves the paper's throughput-test
+    /// ratio (4 GB of SSD cache over a 16 GB database).
+    pub fn paper_throughput_cache_blocks(&self) -> u64 {
+        (self.total_blocks() as f64 * 4.0 / 16.0).round() as u64
+    }
+
+    /// The buffer-pool size (in blocks) preserving the throughput test's
+    /// 2 GB of main memory over a 16 GB database.
+    pub fn paper_throughput_buffer_pool_blocks(&self) -> u64 {
+        (self.total_blocks() as f64 * 2.0 / 16.0).round() as u64
+    }
+}
+
+impl Default for TpchScale {
+    fn default() -> Self {
+        Self::experiment_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_dominates_the_database() {
+        let s = TpchScale::new(1.0);
+        let lineitem = s.table_blocks(TpchTable::Lineitem);
+        for t in TpchTable::all() {
+            if t != TpchTable::Lineitem {
+                assert!(lineitem > s.table_blocks(t));
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_scale_linearly_for_scaling_tables() {
+        let s1 = TpchScale::new(1.0);
+        let s2 = TpchScale::new(2.0);
+        let b1 = s1.table_blocks(TpchTable::Orders);
+        let b2 = s2.table_blocks(TpchTable::Orders);
+        let ratio = b2 as f64 / b1 as f64;
+        assert!((ratio - 2.0).abs() < 0.05);
+        // Nation and region do not scale.
+        assert_eq!(
+            s1.table_blocks(TpchTable::Nation),
+            s2.table_blocks(TpchTable::Nation)
+        );
+    }
+
+    #[test]
+    fn sf1_is_roughly_one_gigabyte_of_tables() {
+        let s = TpchScale::new(1.0);
+        let table_bytes: u64 = TpchTable::all()
+            .iter()
+            .map(|t| s.table_blocks(*t) * BLOCK_SIZE as u64)
+            .sum();
+        let gib = table_bytes as f64 / (1u64 << 30) as f64;
+        assert!(gib > 0.7 && gib < 1.6, "SF1 tables = {gib} GiB");
+    }
+
+    #[test]
+    fn indexes_are_smaller_than_their_tables() {
+        let s = TpchScale::new(1.0);
+        for idx in TpchIndex::all() {
+            assert!(s.index_blocks(idx) <= s.table_blocks(idx.table()));
+        }
+    }
+
+    #[test]
+    fn cache_ratios_match_paper_proportions() {
+        let s = TpchScale::new(0.5);
+        let total = s.total_blocks();
+        let single = s.paper_single_query_cache_blocks();
+        let through = s.paper_throughput_cache_blocks();
+        assert!((single as f64 / total as f64 - 32.0 / 46.0).abs() < 0.01);
+        assert!((through as f64 / total as f64 - 0.25).abs() < 0.01);
+        assert!(single < total);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        TpchScale::new(0.0);
+    }
+}

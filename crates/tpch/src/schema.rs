@@ -1,0 +1,209 @@
+//! The TPC-H schema: tables, per-scale-factor cardinalities and row widths,
+//! and the nine indexes the paper builds (Table 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight TPC-H base tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TpchTable {
+    /// `lineitem`: the fact table, ~6,000,000 rows per scale factor.
+    Lineitem,
+    /// `orders`: ~1,500,000 rows per scale factor.
+    Orders,
+    /// `partsupp`: ~800,000 rows per scale factor.
+    Partsupp,
+    /// `part`: ~200,000 rows per scale factor.
+    Part,
+    /// `customer`: ~150,000 rows per scale factor.
+    Customer,
+    /// `supplier`: ~10,000 rows per scale factor.
+    Supplier,
+    /// `nation`: 25 rows, scale-independent.
+    Nation,
+    /// `region`: 5 rows, scale-independent.
+    Region,
+}
+
+impl TpchTable {
+    /// All tables in layout order (largest first, like dbgen loads them).
+    pub fn all() -> [TpchTable; 8] {
+        [
+            TpchTable::Lineitem,
+            TpchTable::Orders,
+            TpchTable::Partsupp,
+            TpchTable::Part,
+            TpchTable::Customer,
+            TpchTable::Supplier,
+            TpchTable::Nation,
+            TpchTable::Region,
+        ]
+    }
+
+    /// The table's SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TpchTable::Lineitem => "lineitem",
+            TpchTable::Orders => "orders",
+            TpchTable::Partsupp => "partsupp",
+            TpchTable::Part => "part",
+            TpchTable::Customer => "customer",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Nation => "nation",
+            TpchTable::Region => "region",
+        }
+    }
+
+    /// Number of rows at scale factor 1 (TPC-H specification, clause 4.2.5).
+    pub fn rows_per_sf(&self) -> u64 {
+        match self {
+            TpchTable::Lineitem => 6_001_215,
+            TpchTable::Orders => 1_500_000,
+            TpchTable::Partsupp => 800_000,
+            TpchTable::Part => 200_000,
+            TpchTable::Customer => 150_000,
+            TpchTable::Supplier => 10_000,
+            TpchTable::Nation => 25,
+            TpchTable::Region => 5,
+        }
+    }
+
+    /// Whether the table's cardinality scales with the scale factor.
+    pub fn scales(&self) -> bool {
+        !matches!(self, TpchTable::Nation | TpchTable::Region)
+    }
+
+    /// Approximate on-disk row width in bytes (PostgreSQL heap tuples,
+    /// including per-tuple overhead).
+    pub fn row_bytes(&self) -> u64 {
+        match self {
+            TpchTable::Lineitem => 130,
+            TpchTable::Orders => 120,
+            TpchTable::Partsupp => 150,
+            TpchTable::Part => 160,
+            TpchTable::Customer => 180,
+            TpchTable::Supplier => 150,
+            TpchTable::Nation => 120,
+            TpchTable::Region => 120,
+        }
+    }
+}
+
+impl fmt::Display for TpchTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The nine indexes of Table 3 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TpchIndex {
+    /// `lineitem (l_partkey)`
+    LineitemPartkey,
+    /// `lineitem (l_orderkey)`
+    LineitemOrderkey,
+    /// `orders (o_orderkey)`
+    OrdersOrderkey,
+    /// `partsupp (ps_partkey)`
+    PartsuppPartkey,
+    /// `part (p_partkey)`
+    PartPartkey,
+    /// `customer (c_custkey)`
+    CustomerCustkey,
+    /// `supplier (s_suppkey)`
+    SupplierSuppkey,
+    /// `region (r_regionkey)`
+    RegionRegionkey,
+    /// `nation (n_nationkey)`
+    NationNationkey,
+}
+
+impl TpchIndex {
+    /// All nine indexes, in the order Table 3 lists them.
+    pub fn all() -> [TpchIndex; 9] {
+        [
+            TpchIndex::LineitemPartkey,
+            TpchIndex::LineitemOrderkey,
+            TpchIndex::OrdersOrderkey,
+            TpchIndex::PartsuppPartkey,
+            TpchIndex::PartPartkey,
+            TpchIndex::CustomerCustkey,
+            TpchIndex::SupplierSuppkey,
+            TpchIndex::RegionRegionkey,
+            TpchIndex::NationNationkey,
+        ]
+    }
+
+    /// The table the index is built on.
+    pub fn table(&self) -> TpchTable {
+        match self {
+            TpchIndex::LineitemPartkey | TpchIndex::LineitemOrderkey => TpchTable::Lineitem,
+            TpchIndex::OrdersOrderkey => TpchTable::Orders,
+            TpchIndex::PartsuppPartkey => TpchTable::Partsupp,
+            TpchIndex::PartPartkey => TpchTable::Part,
+            TpchIndex::CustomerCustkey => TpchTable::Customer,
+            TpchIndex::SupplierSuppkey => TpchTable::Supplier,
+            TpchIndex::RegionRegionkey => TpchTable::Region,
+            TpchIndex::NationNationkey => TpchTable::Nation,
+        }
+    }
+
+    /// The index's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TpchIndex::LineitemPartkey => "idx_lineitem_l_partkey",
+            TpchIndex::LineitemOrderkey => "idx_lineitem_l_orderkey",
+            TpchIndex::OrdersOrderkey => "idx_orders_o_orderkey",
+            TpchIndex::PartsuppPartkey => "idx_partsupp_ps_partkey",
+            TpchIndex::PartPartkey => "idx_part_p_partkey",
+            TpchIndex::CustomerCustkey => "idx_customer_c_custkey",
+            TpchIndex::SupplierSuppkey => "idx_supplier_s_suppkey",
+            TpchIndex::RegionRegionkey => "idx_region_r_regionkey",
+            TpchIndex::NationNationkey => "idx_nation_n_nationkey",
+        }
+    }
+
+    /// Approximate bytes per index entry (4-byte key B-tree in PostgreSQL,
+    /// including item pointers and page overhead amortised per entry).
+    pub fn entry_bytes(&self) -> u64 {
+        24
+    }
+}
+
+impl fmt::Display for TpchIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables_with_unique_names() {
+        let names: std::collections::HashSet<_> =
+            TpchTable::all().iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn nine_indexes_matching_table_3() {
+        assert_eq!(TpchIndex::all().len(), 9);
+        assert_eq!(TpchIndex::LineitemPartkey.table(), TpchTable::Lineitem);
+        assert_eq!(TpchIndex::OrdersOrderkey.table(), TpchTable::Orders);
+        assert_eq!(TpchIndex::NationNationkey.table(), TpchTable::Nation);
+        let names: std::collections::HashSet<_> =
+            TpchIndex::all().iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn cardinalities_follow_the_specification() {
+        assert_eq!(TpchTable::Lineitem.rows_per_sf(), 6_001_215);
+        assert_eq!(TpchTable::Orders.rows_per_sf(), 1_500_000);
+        assert_eq!(TpchTable::Region.rows_per_sf(), 5);
+        assert!(!TpchTable::Nation.scales());
+        assert!(TpchTable::Lineitem.scales());
+    }
+}

@@ -1,0 +1,94 @@
+//! The TPC-H throughput-test streams.
+//!
+//! Section 6.4 of the paper runs a throughput test with 3 query streams and
+//! 1 update stream at scale factor 10, with 2 GB of main memory and a 4 GB
+//! SSD cache. The query orderings are the stream permutations of
+//! Appendix A of the TPC-H specification; the update stream interleaves
+//! RF1/RF2 pairs, one pair per query stream.
+
+use crate::queries::QueryId;
+
+/// Query permutations for streams 01–03 from the TPC-H specification.
+pub const STREAM_ORDERS: [[u8; 22]; 3] = [
+    [
+        21, 3, 18, 5, 11, 7, 6, 20, 17, 12, 16, 15, 13, 10, 2, 8, 14, 19, 9, 22, 1, 4,
+    ],
+    [
+        6, 17, 14, 16, 19, 10, 9, 2, 15, 8, 5, 22, 12, 7, 13, 18, 1, 4, 20, 3, 11, 21,
+    ],
+    [
+        8, 5, 4, 6, 17, 7, 1, 18, 22, 14, 9, 10, 15, 11, 20, 2, 21, 19, 13, 16, 12, 3,
+    ],
+];
+
+/// The `n`-th query stream (0-based). Panics if `n >= 3`.
+pub fn query_stream(n: usize) -> Vec<QueryId> {
+    STREAM_ORDERS[n].iter().map(|&q| QueryId::Q(q)).collect()
+}
+
+/// The update stream: one RF1/RF2 pair per query stream, as the
+/// specification requires for a throughput test with `streams` streams.
+pub fn update_stream(streams: usize) -> Vec<QueryId> {
+    let mut s = Vec::with_capacity(streams * 2);
+    for _ in 0..streams {
+        s.push(QueryId::Rf1);
+        s.push(QueryId::Rf2);
+    }
+    s
+}
+
+/// Number of query streams the paper's throughput test uses.
+pub const PAPER_QUERY_STREAMS: usize = 3;
+
+/// The TPC-H throughput metric: `streams * 22 * 3600 / elapsed_seconds`,
+/// i.e. queries completed per hour normalised over the streams.
+pub fn throughput_metric(streams: usize, elapsed_seconds: f64) -> f64 {
+    if elapsed_seconds <= 0.0 {
+        return 0.0;
+    }
+    (streams * 22) as f64 * 3600.0 / elapsed_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stream_is_a_permutation_of_the_22_queries() {
+        for n in 0..3 {
+            let mut nums: Vec<u8> = query_stream(n)
+                .iter()
+                .map(|q| match q {
+                    QueryId::Q(x) => *x,
+                    _ => unreachable!("query streams contain no refresh functions"),
+                })
+                .collect();
+            nums.sort_unstable();
+            assert_eq!(nums, (1..=22).collect::<Vec<u8>>());
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct_orderings() {
+        assert_ne!(STREAM_ORDERS[0], STREAM_ORDERS[1]);
+        assert_ne!(STREAM_ORDERS[1], STREAM_ORDERS[2]);
+    }
+
+    #[test]
+    fn update_stream_pairs_rf1_rf2() {
+        let s = update_stream(3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], QueryId::Rf1);
+        assert_eq!(s[1], QueryId::Rf2);
+        assert!(s.iter().all(|q| q.is_refresh()));
+    }
+
+    #[test]
+    fn throughput_metric_scales_inversely_with_time() {
+        let fast = throughput_metric(3, 1_000.0);
+        let slow = throughput_metric(3, 2_000.0);
+        assert!(fast > slow);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+        assert_eq!(throughput_metric(3, 0.0), 0.0);
+    }
+}

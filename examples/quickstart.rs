@@ -1,0 +1,41 @@
+//! Quickstart: build a small TPC-H database on a hybrid storage system and
+//! compare one sequential and one random query across the paper's four
+//! storage configurations.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hstorage::{SystemConfig, TpchSystem};
+use hstorage_cache::StorageConfigKind;
+use hstorage_tpch::{QueryId, TpchScale};
+
+fn main() {
+    // A reduced-scale TPC-H database. The SSD cache and DBMS buffer pool
+    // are sized to preserve the paper's cache:data ratios.
+    let scale = TpchScale::new(0.05);
+    println!("TPC-H scale factor {:.2} ({} data blocks)\n", scale.scale_factor, scale.total_blocks());
+
+    for query in [QueryId::Q(1), QueryId::Q(9)] {
+        println!("--- {query} ---");
+        for kind in StorageConfigKind::all() {
+            let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
+            let stats = system.run(query);
+            println!(
+                "{:<12} {:8.3} s   ({} storage requests, {} blocks, buffer-pool hit rate {:.0}%)",
+                system.storage_name(),
+                stats.elapsed.as_secs_f64(),
+                stats.total_requests(),
+                stats.total_blocks(),
+                100.0 * stats.buffer_pool_hits as f64
+                    / (stats.buffer_pool_hits + stats.buffer_pool_misses).max(1) as f64,
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Q1 is dominated by sequential requests: the SSD brings little benefit and\n\
+         hStorage-DB correctly refuses to pollute the cache with scan data.\n\
+         Q9 is dominated by random requests: hStorage-DB keeps the hot index/table\n\
+         blocks on the SSD and approaches the SSD-only ideal."
+    );
+}

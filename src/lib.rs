@@ -1,0 +1,6 @@
+//! Repository-level façade crate.
+//!
+//! This crate exists so that the repo root can host runnable `examples/`
+//! and cross-crate integration `tests/`. It re-exports the public library.
+
+pub use hstorage::{SystemConfig, TpchSystem};

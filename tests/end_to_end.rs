@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: drive the full stack (TPC-H plans →
+//! policy assignment → hybrid cache → simulated devices) and check the
+//! paper's qualitative claims end to end.
+
+use hstorage::{SystemConfig, TpchSystem};
+use hstorage_cache::{CacheAction, StorageConfigKind};
+use hstorage_storage::RequestClass;
+use hstorage_tpch::power::power_test_sequence;
+use hstorage_tpch::{QueryId, TpchScale};
+
+fn scale() -> TpchScale {
+    TpchScale::new(0.02)
+}
+
+#[test]
+fn sequential_queries_do_not_pollute_the_hstorage_cache() {
+    let mut system = TpchSystem::new(SystemConfig::single_query(
+        scale(),
+        StorageConfigKind::HStorageDb,
+    ));
+    for q in [1u8, 5, 11, 19] {
+        system.run(QueryId::Q(q));
+    }
+    // None of these queries issues random or temporary requests that would
+    // legitimately claim cache space, so nothing may be resident.
+    let stats = system.storage_stats();
+    assert_eq!(stats.action(CacheAction::ReadAllocation), 0);
+    assert!(system.cached_blocks() <= stats.action(CacheAction::WriteAllocation));
+}
+
+#[test]
+fn the_same_workload_pollutes_an_lru_cache() {
+    let mut system = TpchSystem::new(SystemConfig::single_query(scale(), StorageConfigKind::Lru));
+    system.run(QueryId::Q(1));
+    assert!(system.cached_blocks() > 0, "LRU admits sequential scan data");
+}
+
+#[test]
+fn hstorage_matches_hdd_only_on_sequential_work_and_beats_it_on_random_work() {
+    let mut hdd = TpchSystem::new(SystemConfig::single_query(scale(), StorageConfigKind::HddOnly));
+    let mut hst = TpchSystem::new(SystemConfig::single_query(
+        scale(),
+        StorageConfigKind::HStorageDb,
+    ));
+
+    let hdd_q1 = hdd.run(QueryId::Q(1)).elapsed;
+    let hst_q1 = hst.run(QueryId::Q(1)).elapsed;
+    let ratio = hst_q1.as_secs_f64() / hdd_q1.as_secs_f64();
+    assert!(ratio < 1.05, "hStorage-DB overhead on Q1: {ratio}");
+
+    let hdd_q9 = hdd.run(QueryId::Q(9)).elapsed;
+    let hst_q9 = hst.run(QueryId::Q(9)).elapsed;
+    assert!(
+        hst_q9.as_secs_f64() < hdd_q9.as_secs_f64() * 0.8,
+        "hStorage-DB should clearly beat HDD-only on Q9"
+    );
+}
+
+#[test]
+fn temporary_data_is_evicted_at_end_of_lifetime() {
+    let mut system = TpchSystem::new(SystemConfig::single_query(
+        scale(),
+        StorageConfigKind::HStorageDb,
+    ));
+    system.run(QueryId::Q(18));
+    let stats = system.storage_stats();
+    // Everything written as temporary data was eventually trimmed.
+    assert!(stats.action(CacheAction::Trim) > 0);
+    let temp = stats.class(RequestClass::TemporaryData);
+    assert!(temp.accessed_blocks > 0);
+    // The cache holds no leftover temporary blocks: whatever remains
+    // resident was allocated by the write buffer or random requests.
+    assert!(system.cached_blocks() < stats.action(CacheAction::Trim) + 64);
+}
+
+#[test]
+fn power_test_ordering_holds_across_configurations() {
+    let sequence = power_test_sequence();
+    let mut totals = Vec::new();
+    for kind in [
+        StorageConfigKind::HddOnly,
+        StorageConfigKind::HStorageDb,
+        StorageConfigKind::SsdOnly,
+    ] {
+        let mut system = TpchSystem::new(SystemConfig::single_query(scale(), kind));
+        let total: f64 = system
+            .run_sequence(&sequence)
+            .iter()
+            .map(|s| s.elapsed.as_secs_f64())
+            .sum();
+        totals.push((kind.label(), total));
+    }
+    assert!(totals[2].1 < totals[1].1, "SSD-only beats hStorage-DB");
+    assert!(totals[1].1 < totals[0].1, "hStorage-DB beats HDD-only");
+}
+
+#[test]
+fn refresh_functions_are_absorbed_by_the_write_buffer() {
+    let mut system = TpchSystem::new(SystemConfig::single_query(
+        scale(),
+        StorageConfigKind::HStorageDb,
+    ));
+    let stats = system.run(QueryId::Rf1);
+    assert!(stats.requests(RequestClass::Update) > 0);
+    let storage = system.storage_stats();
+    assert!(storage.action(CacheAction::WriteAllocation) > 0);
+    // Updates never bypass straight to the HDD under hStorage-DB.
+    assert_eq!(storage.class(RequestClass::Update).accessed_blocks, stats.blocks(RequestClass::Update));
+}
+
+#[test]
+fn request_classification_is_storage_independent() {
+    // The DBMS classifies requests identically no matter which storage
+    // configuration serves them (the tag is simply ignored by legacy ones).
+    let mut per_config = Vec::new();
+    for kind in StorageConfigKind::all() {
+        let mut system = TpchSystem::new(SystemConfig::single_query(scale(), kind));
+        let stats = system.run(QueryId::Q(21));
+        per_config.push((
+            stats.blocks(RequestClass::Sequential),
+            stats.blocks(RequestClass::TemporaryData),
+        ));
+    }
+    // Sequential and temporary volumes are deterministic and identical.
+    for w in per_config.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
