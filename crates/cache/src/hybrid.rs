@@ -600,6 +600,61 @@ mod tests {
     }
 
     #[test]
+    fn selective_allocation_displaces_the_lowest_priority_victim() {
+        let mut c = cache(10);
+        // Mixed residents: five priority-2 blocks, then five priority-5.
+        for i in 0..5u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+        }
+        for i in 10..15u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(5)));
+        }
+        assert_eq!(c.resident_blocks(), 10);
+        // A priority-3 block outranks the priority-5 group, so it is
+        // admitted and the victim comes from that group — specifically its
+        // least recently used block (10), never a priority-2 block.
+        c.submit(read_req(100, 1, RequestClass::Random, QosPolicy::priority(3)));
+        assert_eq!(c.resident_blocks(), 10);
+        assert!(c.meta.contains(BlockAddr(100)), "new block must be admitted");
+        assert!(!c.meta.contains(BlockAddr(10)), "LRU of lowest group evicted");
+        for i in (0..5u64).chain(11..15) {
+            assert!(c.meta.contains(BlockAddr(i)), "block {i} must survive");
+        }
+        assert_eq!(c.stats().action(CacheAction::Eviction), 1);
+    }
+
+    #[test]
+    fn non_allocatable_priority_bypasses_the_ssd() {
+        // Priority >= t (paper: t = N - 1 = 7) is never admitted, even into
+        // a completely empty cache.
+        let mut c = cache(100);
+        c.submit(read_req(0, 20, RequestClass::Random, QosPolicy::priority(7)));
+        assert_eq!(c.resident_blocks(), 0);
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::Bypassing), 20);
+        assert_eq!(s.ssd.unwrap().total_blocks(), 0, "no SSD traffic at all");
+        assert_eq!(s.hdd.unwrap().blocks_read, 20);
+    }
+
+    #[test]
+    fn non_caching_eviction_misses_bypass_the_ssd() {
+        // A TRIM-class access to blocks that are *not* cached must go
+        // straight to the HDD without allocating.
+        let mut c = cache(100);
+        c.submit(read_req(
+            0,
+            10,
+            RequestClass::TemporaryDataTrim,
+            QosPolicy::NonCachingEviction,
+        ));
+        assert_eq!(c.resident_blocks(), 0);
+        let s = c.stats();
+        assert_eq!(s.action(CacheAction::Bypassing), 10);
+        assert_eq!(s.ssd.unwrap().total_blocks(), 0);
+        assert_eq!(s.hdd.unwrap().blocks_read, 10);
+    }
+
+    #[test]
     fn resident_blocks_never_exceed_capacity() {
         let mut c = cache(64);
         for i in 0..1000u64 {

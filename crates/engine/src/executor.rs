@@ -44,7 +44,7 @@ impl Default for ExecutorConfig {
             cpu_time_per_block: Duration::from_micros(12),
             seq_blocks_per_request: 64,
             temp_blocks_per_request: 32,
-            seed: 0x5707_AC_E_DB,
+            seed: 0x5707ACEDB,
         }
     }
 }
@@ -424,8 +424,10 @@ mod tests {
     }
 
     fn executor() -> QueryExecutor {
-        let mut cfg = ExecutorConfig::default();
-        cfg.buffer_pool_blocks = 128;
+        let cfg = ExecutorConfig {
+            buffer_pool_blocks: 128,
+            ..ExecutorConfig::default()
+        };
         QueryExecutor::new(cfg, PolicyConfig::paper_default())
     }
 

@@ -141,6 +141,67 @@ mod tests {
     }
 
     #[test]
+    fn rule_5_concurrent_queries_agree_on_shared_object() {
+        use crate::plan::{Access, OperatorKind, PlanNode, PlanTree};
+
+        let index_scan = |index: u32, table_oid: u32| {
+            PlanNode::leaf(
+                OperatorKind::IndexScan,
+                Access::IndexScan {
+                    index: ObjectId(index),
+                    table: ObjectId(table_oid),
+                    lookups: 10,
+                    index_hot_fraction: 1.0,
+                    table_hot_fraction: 1.0,
+                },
+            )
+        };
+        // Query A reaches table 1 at level 0; query B reaches the same
+        // table from under a join, at level 1.
+        let plan_a = PlanTree::new("A", index_scan(10, 1));
+        let plan_b = PlanTree::new(
+            "B",
+            PlanNode::node(
+                OperatorKind::HashJoin,
+                Access::None,
+                vec![index_scan(20, 3), index_scan(10, 1)],
+            ),
+        );
+
+        let t = table();
+        let registry = reg();
+        let _ta = registry.register_query(&plan_a);
+        let _tb = registry.register_query(&plan_b);
+
+        // Rule 5: both queries' requests to table 1 carry the priority of
+        // the *lowest* registered level (0), not each query's own level.
+        let from_a = SemanticInfo::random_access(ObjectId(1), ContentType::RegularTable, 0);
+        let from_b = SemanticInfo::random_access(ObjectId(1), ContentType::RegularTable, 1);
+        let pa = t.assign(&from_a, &registry, (0, 0));
+        let pb = t.assign(&from_b, &registry, (0, 1));
+        assert_eq!(pa, pb);
+        assert_eq!(pa, QosPolicy::Priority(CachePriority(2)));
+    }
+
+    #[test]
+    fn function_1_assigns_one_priority_per_level() {
+        // Paper default: range [n1, n2] = [2, 6], so with level bounds
+        // (0, 4) we get Cprio = Lgap = 4 and p(i) = 2 + i exactly.
+        let t = table();
+        let registry = reg();
+        for level in 0..=4u32 {
+            let info =
+                SemanticInfo::random_access(ObjectId(level + 1), ContentType::RegularTable, level);
+            assert_eq!(
+                t.assign(&info, &registry, (0, 4)),
+                QosPolicy::Priority(CachePriority(2 + level as u8)),
+                "level {level} must map to priority {}",
+                2 + level
+            );
+        }
+    }
+
+    #[test]
     fn table_1_priority_layout() {
         // Reconstructs Table 1: temporary = 1, random ∈ [2, N−2],
         // sequential = N−1, TRIM = N, updates = write buffer.

@@ -375,7 +375,7 @@ mod tests {
             PlanNode::leaf(OperatorKind::SeqScan, Access::SeqScan { table, passes: 1 }),
         );
         let prog = compile(&plan, &mut cat, CompileOptions::default());
-        assert_eq!(prog.len(), (1000 + 63) / 64);
+        assert_eq!(prog.len(), 1000usize.div_ceil(64));
         let total: u64 = prog
             .ops
             .iter()

@@ -32,8 +32,10 @@ impl SystemConfig {
     pub fn single_query(scale: TpchScale, storage_kind: StorageConfigKind) -> Self {
         let cache_blocks = scale.paper_single_query_cache_blocks();
         let buffer_pool_blocks = (scale.total_blocks() / 50).max(64);
-        let mut executor = ExecutorConfig::default();
-        executor.buffer_pool_blocks = buffer_pool_blocks;
+        let executor = ExecutorConfig {
+            buffer_pool_blocks,
+            ..ExecutorConfig::default()
+        };
         SystemConfig {
             scale,
             storage_kind,
@@ -49,8 +51,10 @@ impl SystemConfig {
     pub fn throughput(scale: TpchScale, storage_kind: StorageConfigKind) -> Self {
         let cache_blocks = scale.paper_throughput_cache_blocks();
         let buffer_pool_blocks = scale.paper_throughput_buffer_pool_blocks().max(64);
-        let mut executor = ExecutorConfig::default();
-        executor.buffer_pool_blocks = buffer_pool_blocks;
+        let executor = ExecutorConfig {
+            buffer_pool_blocks,
+            ..ExecutorConfig::default()
+        };
         SystemConfig {
             scale,
             storage_kind,

@@ -74,7 +74,7 @@ impl fmt::Display for Fig4Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let classes: Vec<&str> = RequestClass::all().iter().map(|c| c.label()).collect();
         let mut headers = vec!["query"];
-        headers.extend(classes.iter().map(|c| *c));
+        headers.extend(classes.iter().copied());
 
         let render = |pick: &dyn Fn(&Fig4Row) -> &BTreeMap<String, f64>| -> Vec<Vec<String>> {
             self.rows

@@ -66,6 +66,6 @@ mod tests {
             .into_iter()
             .filter(|q| is_long_query(*q))
             .count();
-        assert!(long >= 5 && long <= 10);
+        assert!((5..=10).contains(&long));
     }
 }

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! minimal surface the workspace uses: the `Serialize` / `Deserialize`
+//! marker traits and the same-named no-op derive macros. Swapping in the
+//! real serde is a one-line change in the workspace manifest.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
