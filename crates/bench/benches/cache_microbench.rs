@@ -28,7 +28,7 @@ fn bench_cache(c: &mut Criterion) {
 
     group.bench_function("hybrid_random_mixed_priorities", |b| {
         b.iter(|| {
-            let mut cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
+            let cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
             for i in 0..10_000u64 {
                 cache.submit(black_box(random_read(i, 2 + (i % 5) as u8)));
             }
@@ -38,7 +38,7 @@ fn bench_cache(c: &mut Criterion) {
 
     group.bench_function("lru_random", |b| {
         b.iter(|| {
-            let mut cache = LruCache::new(BLOCKS);
+            let cache = LruCache::new(BLOCKS);
             for i in 0..10_000u64 {
                 cache.submit(black_box(random_read(i, 2)));
             }
@@ -48,7 +48,7 @@ fn bench_cache(c: &mut Criterion) {
 
     group.bench_function("hybrid_sequential_bypass", |b| {
         b.iter(|| {
-            let mut cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
+            let cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
             for i in 0..100u64 {
                 cache.submit(ClassifiedRequest::new(
                     IoRequest::read(BlockRange::new(i * 100, 100), true),
@@ -62,7 +62,7 @@ fn bench_cache(c: &mut Criterion) {
 
     group.bench_function("hybrid_trim", |b| {
         b.iter(|| {
-            let mut cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
+            let cache = HybridCache::new(PolicyConfig::paper_default(), BLOCKS);
             for i in 0..(BLOCKS / 32) {
                 cache.submit(ClassifiedRequest::new(
                     IoRequest::write(BlockRange::new(i * 32, 32), true),

@@ -55,7 +55,8 @@ impl fmt::Display for StorageConfigKind {
 }
 
 /// A full description of a storage configuration: the kind, the cache size
-/// (for cached kinds), and the QoS policy parameters (for hStorage-DB).
+/// (for cached kinds), the QoS policy parameters (for hStorage-DB) and the
+/// lock-striping shard count for concurrent access.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StorageConfig {
     /// Which configuration to build.
@@ -64,15 +65,21 @@ pub struct StorageConfig {
     pub cache_capacity_blocks: u64,
     /// QoS policy parameters (used by the hStorage-DB kind).
     pub policy: PolicyConfig,
+    /// Number of lock-striped shards for the hStorage-DB kind. 1 (the
+    /// default) reproduces the paper's global allocation/eviction exactly;
+    /// larger values let concurrent submits on different shards proceed in
+    /// parallel at the cost of shard-local eviction decisions.
+    pub shards: usize,
 }
 
 impl StorageConfig {
-    /// Creates a configuration description.
+    /// Creates a configuration description (single shard).
     pub fn new(kind: StorageConfigKind, cache_capacity_blocks: u64) -> Self {
         StorageConfig {
             kind,
             cache_capacity_blocks,
             policy: PolicyConfig::paper_default(),
+            shards: 1,
         }
     }
 
@@ -82,16 +89,32 @@ impl StorageConfig {
         self
     }
 
+    /// Overrides the shard count used by the hStorage-DB kind.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = shards;
+        self
+    }
+
     /// Builds the storage system.
     pub fn build(&self) -> Box<dyn StorageSystem> {
         match self.kind {
             StorageConfigKind::HddOnly => Box::new(HddOnly::new()),
             StorageConfigKind::SsdOnly => Box::new(SsdOnly::new()),
             StorageConfigKind::Lru => Box::new(LruCache::new(self.cache_capacity_blocks)),
-            StorageConfigKind::HStorageDb => {
-                Box::new(HybridCache::new(self.policy, self.cache_capacity_blocks))
-            }
+            StorageConfigKind::HStorageDb => Box::new(HybridCache::with_shard_count(
+                self.policy,
+                self.cache_capacity_blocks,
+                self.shards,
+            )),
         }
+    }
+
+    /// Builds the storage system behind an [`Arc`](std::sync::Arc), ready to
+    /// be shared by concurrent query streams (e.g. the threaded workload
+    /// driver).
+    pub fn build_shared(&self) -> std::sync::Arc<dyn StorageSystem> {
+        std::sync::Arc::from(self.build())
     }
 }
 
@@ -114,6 +137,18 @@ mod tests {
             .map(|k| k.label())
             .collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn build_shared_returns_a_sync_handle() {
+        let shared = StorageConfig::new(StorageConfigKind::HStorageDb, 128)
+            .with_shards(4)
+            .build_shared();
+        let shared2 = std::sync::Arc::clone(&shared);
+        std::thread::spawn(move || shared2.name().to_string())
+            .join()
+            .unwrap();
+        assert_eq!(shared.name(), "hStorage-DB");
     }
 
     #[test]

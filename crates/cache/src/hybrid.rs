@@ -13,6 +13,21 @@
 //! The six actions of Section 5.1 (cache hit, read allocation, write
 //! allocation, bypassing, re-allocation, eviction) are all implemented and
 //! counted, as are TRIM-driven invalidations and write-buffer flushes.
+//!
+//! # Concurrency
+//!
+//! The cache is a shared service: [`StorageSystem::submit`] takes `&self`,
+//! so one instance can serve many threads. Internally the block metadata,
+//! per-priority LRU groups, slot allocator, write buffer and statistics are
+//! partitioned into `N` *shards* keyed by logical block address
+//! (`lbn % N`), each behind its own mutex — submits that touch different
+//! shards proceed in parallel, and statistics are striped per shard and
+//! aggregated on read. Each shard manages an equal slice of the cache
+//! capacity, so selective allocation and eviction are decided shard-locally.
+//! With a single shard (the default, used by the paper-figure experiments)
+//! the behaviour is block-for-block identical to the original exclusive
+//! implementation; [`HybridCache::with_shard_count`] enables real
+//! parallelism for the threaded drivers and benches.
 
 use crate::allocator::SlotAllocator;
 use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
@@ -23,6 +38,7 @@ use hstorage_storage::{
     BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, IoRequest,
     PolicyConfig, QosPolicy, SimClock, SsdDevice, StorageDevice, TrimCommand,
 };
+use parking_lot::Mutex;
 use std::time::Duration;
 
 /// Per-request batch of device traffic, flushed as one I/O per device and
@@ -36,81 +52,34 @@ struct DeviceBatch {
     hdd_write: u64,
 }
 
-/// The hybrid SSD-over-HDD storage system managed by caching priorities.
-pub struct HybridCache {
-    policy: PolicyConfig,
-    cache_capacity: u64,
-    clock: SimClock,
-    ssd: SsdDevice,
-    hdd: HddDevice,
+/// One lock-striped partition of the cache: the metadata, LRU groups,
+/// allocator, write-buffer occupancy and statistics for the blocks whose
+/// address hashes to this shard.
+struct Shard {
     meta: CacheMetadata,
     groups: PriorityGroups,
     alloc: SlotAllocator,
-    stats: CacheStats,
+    /// Maximum blocks this shard's slice of the write buffer may hold.
+    write_buffer_limit: u64,
     /// Blocks currently resident in the write-buffer group (group 0).
     write_buffer_resident: u64,
+    stats: CacheStats,
 }
 
-impl HybridCache {
-    /// Creates a hybrid cache with `cache_capacity_blocks` of SSD cache in
-    /// front of the HDD, using the paper's device models.
-    pub fn new(policy: PolicyConfig, cache_capacity_blocks: u64) -> Self {
-        let clock = SimClock::new();
-        Self::with_devices(
-            policy,
-            cache_capacity_blocks,
-            SsdDevice::intel_320(clock.clone()),
-            HddDevice::cheetah(clock.clone()),
-            clock,
-        )
-    }
-
-    /// Creates a hybrid cache over explicitly constructed devices. The
-    /// devices must share `clock`.
-    pub fn with_devices(
-        policy: PolicyConfig,
-        cache_capacity_blocks: u64,
-        ssd: SsdDevice,
-        hdd: HddDevice,
-        clock: SimClock,
-    ) -> Self {
-        policy.validate().expect("invalid policy configuration");
-        HybridCache {
-            groups: PriorityGroups::new(policy.total_priorities),
-            alloc: SlotAllocator::new(cache_capacity_blocks),
-            policy,
-            cache_capacity: cache_capacity_blocks,
-            clock,
-            ssd,
-            hdd,
+impl Shard {
+    fn new(policy: &PolicyConfig, capacity: u64) -> Self {
+        Shard {
             meta: CacheMetadata::new(),
-            stats: CacheStats::new(),
+            groups: PriorityGroups::new(policy.total_priorities),
+            alloc: SlotAllocator::new(capacity),
+            write_buffer_limit: (capacity as f64 * policy.write_buffer_fraction).floor() as u64,
             write_buffer_resident: 0,
+            stats: CacheStats::new(),
         }
     }
 
-    /// The policy configuration in force.
-    pub fn policy(&self) -> &PolicyConfig {
-        &self.policy
-    }
-
-    /// Cache capacity in blocks.
-    pub fn capacity_blocks(&self) -> u64 {
-        self.cache_capacity
-    }
-
-    /// Maximum number of blocks the write buffer may hold before a flush.
-    pub fn write_buffer_limit(&self) -> u64 {
-        (self.cache_capacity as f64 * self.policy.write_buffer_fraction).floor() as u64
-    }
-
-    /// Number of blocks currently held in the write buffer.
-    pub fn write_buffer_resident(&self) -> u64 {
-        self.write_buffer_resident
-    }
-
     /// Evicts the selective-eviction victim, writing it back if dirty.
-    /// Returns `false` if the cache was empty.
+    /// Returns `false` if the shard was empty.
     fn evict_one(&mut self, batch: &mut DeviceBatch) -> bool {
         let Some((victim, prio)) = self.groups.pop_victim() else {
             return false;
@@ -138,7 +107,7 @@ impl HybridCache {
         if let Some(pbn) = self.alloc.allocate() {
             return Some(pbn);
         }
-        // Cache full: admit only if some resident block has an equal or
+        // Shard full: admit only if some resident block has an equal or
         // lower priority (a numerically >= priority value).
         let victim_prio = self.groups.lowest_occupied_priority()?;
         if victim_prio.0 >= prio.0 {
@@ -152,6 +121,7 @@ impl HybridCache {
     /// Handles one block of a request; returns `true` on a cache hit.
     fn handle_block(
         &mut self,
+        config: &PolicyConfig,
         lbn: BlockAddr,
         direction: Direction,
         policy: QosPolicy,
@@ -166,7 +136,7 @@ impl HybridCache {
                     // Does not affect the existing layout: no touch, no move.
                 }
                 QosPolicy::NonCachingEviction => {
-                    let target = self.policy.non_caching_eviction();
+                    let target = config.non_caching_eviction();
                     if entry.priority != target {
                         self.reallocate(lbn, entry.priority, target);
                     }
@@ -192,7 +162,7 @@ impl HybridCache {
         }
 
         // --- Cache miss ---
-        let admissible = policy.admits() && self.policy.admissible(prio);
+        let admissible = policy.admits() && config.admissible(prio);
         if !admissible {
             // Bypassing: straight to the second-level device.
             self.stats.record_action(CacheAction::Bypassing, 1);
@@ -258,13 +228,13 @@ impl HybridCache {
         self.stats.record_action(CacheAction::ReAllocation, 1);
     }
 
-    /// Flushes the write buffer if its occupancy exceeds the `b` threshold:
-    /// dirty buffered blocks are written to the HDD and the buffer is
-    /// drained (the space is returned to the cache).
-    fn maybe_flush_write_buffer(&mut self) {
-        let limit = self.write_buffer_limit();
-        if limit == 0 || self.write_buffer_resident <= limit {
-            return;
+    /// Drains the shard's write buffer if its occupancy exceeds the limit:
+    /// buffered blocks are dropped from the cache and the number of *dirty*
+    /// blocks (which must be written to the HDD by the caller, outside the
+    /// shard lock) is returned.
+    fn drain_write_buffer_if_full(&mut self) -> Option<u64> {
+        if self.write_buffer_limit == 0 || self.write_buffer_resident <= self.write_buffer_limit {
+            return None;
         }
         let buffered: Vec<BlockAddr> = self
             .groups
@@ -282,17 +252,142 @@ impl HybridCache {
             }
         }
         self.write_buffer_resident = 0;
-        if dirty_blocks > 0 {
-            // The flush is a large, mostly sequential transfer to the HDD.
-            self.hdd
-                .serve(&IoRequest::write(BlockRange::new(0u64, dirty_blocks), true));
-        }
         self.stats
             .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
+        Some(dirty_blocks)
+    }
+}
+
+/// The hybrid SSD-over-HDD storage system managed by caching priorities.
+pub struct HybridCache {
+    policy: PolicyConfig,
+    cache_capacity: u64,
+    clock: SimClock,
+    ssd: SsdDevice,
+    hdd: HddDevice,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl HybridCache {
+    /// Creates a single-shard hybrid cache with `cache_capacity_blocks` of
+    /// SSD cache in front of the HDD, using the paper's device models. One
+    /// shard reproduces the paper's global selective allocation/eviction
+    /// exactly; use [`Self::with_shard_count`] for concurrent workloads.
+    pub fn new(policy: PolicyConfig, cache_capacity_blocks: u64) -> Self {
+        Self::with_shard_count(policy, cache_capacity_blocks, 1)
+    }
+
+    /// Creates a hybrid cache whose state is striped over `shards` locks
+    /// (each managing an equal slice of the capacity) so concurrent submits
+    /// to different shards do not serialize.
+    pub fn with_shard_count(
+        policy: PolicyConfig,
+        cache_capacity_blocks: u64,
+        shards: usize,
+    ) -> Self {
+        let clock = SimClock::new();
+        Self::with_devices_sharded(
+            policy,
+            cache_capacity_blocks,
+            shards,
+            SsdDevice::intel_320(clock.clone()),
+            HddDevice::cheetah(clock.clone()),
+            clock,
+        )
+    }
+
+    /// Creates a single-shard hybrid cache over explicitly constructed
+    /// devices. The devices must share `clock`.
+    pub fn with_devices(
+        policy: PolicyConfig,
+        cache_capacity_blocks: u64,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        Self::with_devices_sharded(policy, cache_capacity_blocks, 1, ssd, hdd, clock)
+    }
+
+    /// Creates a sharded hybrid cache over explicitly constructed devices.
+    /// The devices must share `clock`. Shard `i` manages the blocks with
+    /// `lbn % shards == i` and `capacity / shards` slots (the remainder is
+    /// spread over the first shards).
+    pub fn with_devices_sharded(
+        policy: PolicyConfig,
+        cache_capacity_blocks: u64,
+        shards: usize,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        policy.validate().expect("invalid policy configuration");
+        assert!(shards > 0, "shard count must be positive");
+        let n = shards as u64;
+        let shards = (0..n)
+            .map(|i| {
+                let capacity = cache_capacity_blocks / n + u64::from(i < cache_capacity_blocks % n);
+                Mutex::new(Shard::new(&policy, capacity))
+            })
+            .collect();
+        HybridCache {
+            policy,
+            cache_capacity: cache_capacity_blocks,
+            clock,
+            ssd,
+            hdd,
+            shards,
+        }
+    }
+
+    /// The policy configuration in force.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// Cache capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum number of blocks the write buffer may hold before a flush
+    /// (summed over all shards).
+    pub fn write_buffer_limit(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().write_buffer_limit).sum()
+    }
+
+    /// Number of blocks currently held in the write buffer.
+    pub fn write_buffer_resident(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().write_buffer_resident)
+            .sum()
+    }
+
+    /// Whether `lbn` is currently resident in the cache.
+    pub fn contains_block(&self, lbn: BlockAddr) -> bool {
+        self.shard(lbn).lock().meta.contains(lbn)
+    }
+
+    /// The priority group `lbn` currently lives in, if resident.
+    pub fn cached_priority(&self, lbn: BlockAddr) -> Option<CachePriority> {
+        self.shard(lbn).lock().meta.get(lbn).map(|e| e.priority)
+    }
+
+    fn shard_index(&self, lbn: BlockAddr) -> usize {
+        (lbn.0 % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, lbn: BlockAddr) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(lbn)]
     }
 
     /// Issues the accumulated device traffic for one request.
-    fn flush_batch(&mut self, req: &ClassifiedRequest, batch: DeviceBatch) {
+    fn flush_batch(&self, req: &ClassifiedRequest, batch: DeviceBatch) {
         let seq = req.io.sequential;
         let start = req.io.range.start;
         if batch.hdd_read > 0 {
@@ -316,6 +411,22 @@ impl HybridCache {
             ));
         }
     }
+
+    /// Flushes every shard's write buffer that exceeds its threshold `b`:
+    /// dirty buffered blocks are written to the HDD and the buffer space is
+    /// returned to the cache.
+    fn maybe_flush_write_buffers(&self) {
+        for shard in &self.shards {
+            let drained = shard.lock().drain_write_buffer_if_full();
+            if let Some(dirty_blocks) = drained {
+                if dirty_blocks > 0 {
+                    // The flush is a large, mostly sequential transfer.
+                    self.hdd
+                        .serve(&IoRequest::write(BlockRange::new(0u64, dirty_blocks), true));
+                }
+            }
+        }
+    }
 }
 
 impl StorageSystem for HybridCache {
@@ -323,63 +434,107 @@ impl StorageSystem for HybridCache {
         "hStorage-DB"
     }
 
-    fn submit(&mut self, req: ClassifiedRequest) {
+    fn submit(&self, req: ClassifiedRequest) {
         let prio = self.policy.resolve(req.policy);
         let mut batch = DeviceBatch::default();
         let mut hits = 0u64;
+        // Hold one shard lock at a time, re-acquiring only when the next
+        // block hashes to a different shard: with one shard the whole
+        // request — including the request-level counters below — is handled
+        // under a single lock acquisition, exactly like the unsharded
+        // implementation.
+        let mut guard = None;
+        let mut guard_idx = usize::MAX;
         for lbn in req.io.range.iter() {
-            if self.handle_block(lbn, req.io.direction, req.policy, prio, &mut batch) {
+            let idx = self.shard_index(lbn);
+            if guard_idx != idx {
+                guard = Some(self.shards[idx].lock());
+                guard_idx = idx;
+            }
+            let shard = guard.as_mut().expect("shard guard just acquired");
+            if shard.handle_block(&self.policy, lbn, req.io.direction, req.policy, prio, &mut batch)
+            {
                 hits += 1;
             }
         }
-        let blocks = req.blocks();
-        self.stats.record_class(req.class, blocks, hits);
-        self.stats.record_priority(prio.0, blocks, hits);
+        // Request-level counters are striped to the last touched shard (the
+        // only shard, when unsharded); the aggregate view sums all stripes.
+        let mut shard = guard.unwrap_or_else(|| self.shard(req.io.range.start).lock());
+        shard.stats.record_class(req.class, req.blocks(), hits);
+        shard.stats.record_priority(prio.0, req.blocks(), hits);
+        drop(shard);
         self.flush_batch(&req, batch);
-        self.maybe_flush_write_buffer();
-        self.stats.resident_blocks = self.meta.len() as u64;
+        // Only priority-0 (write-buffer) traffic can grow the buffer, so
+        // the flush check is needed — and its cost paid — only then.
+        if prio == CachePriority(0) {
+            self.maybe_flush_write_buffers();
+        }
     }
 
-    fn trim(&mut self, cmd: &TrimCommand) {
-        let mut trimmed = 0u64;
+    fn trim(&self, cmd: &TrimCommand) {
         for range in &cmd.ranges {
-            for lbn in range.iter() {
-                if let Some(entry) = self.meta.remove(lbn) {
-                    self.groups.remove(lbn, entry.priority);
-                    if entry.priority == CachePriority(0) {
-                        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+            let mut blocks_iter = range.iter().peekable();
+            while let Some(lbn) = blocks_iter.next() {
+                let idx = self.shard_index(lbn);
+                let mut shard = self.shards[idx].lock();
+                let mut trimmed = shard.trim_block(lbn);
+                while let Some(&next) = blocks_iter.peek() {
+                    if self.shard_index(next) != idx {
+                        break;
                     }
-                    self.alloc.release(entry.pbn);
-                    trimmed += 1;
+                    blocks_iter.next();
+                    trimmed += shard.trim_block(next);
+                }
+                if trimmed > 0 {
+                    shard.stats.record_action(CacheAction::Trim, trimmed);
                 }
             }
         }
-        if trimmed > 0 {
-            self.stats.record_action(CacheAction::Trim, trimmed);
-        }
-        self.stats.resident_blocks = self.meta.len() as u64;
     }
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.clone();
-        s.ssd = Some(self.ssd.stats());
-        s.hdd = Some(self.hdd.stats());
-        s.resident_blocks = self.meta.len() as u64;
-        s
+        let mut aggregate = CacheStats::new();
+        let mut resident = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            aggregate.merge(&shard.stats);
+            resident += shard.meta.len() as u64;
+        }
+        aggregate.resident_blocks = resident;
+        aggregate.ssd = Some(self.ssd.stats());
+        aggregate.hdd = Some(self.hdd.stats());
+        aggregate
     }
 
     fn now(&self) -> Duration {
         self.clock.now()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::new();
+    fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.lock().stats = CacheStats::new();
+        }
         self.ssd.reset_stats();
         self.hdd.reset_stats();
     }
 
     fn resident_blocks(&self) -> u64 {
-        self.meta.len() as u64
+        self.shards.iter().map(|s| s.lock().meta.len() as u64).sum()
+    }
+}
+
+impl Shard {
+    /// Invalidates one block if resident; returns 1 if it was trimmed.
+    fn trim_block(&mut self, lbn: BlockAddr) -> u64 {
+        let Some(entry) = self.meta.remove(lbn) else {
+            return 0;
+        };
+        self.groups.remove(lbn, entry.priority);
+        if entry.priority == CachePriority(0) {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        }
+        self.alloc.release(entry.pbn);
+        1
     }
 }
 
@@ -411,7 +566,7 @@ mod tests {
 
     #[test]
     fn sequential_requests_bypass_the_cache() {
-        let mut c = cache(1000);
+        let c = cache(1000);
         c.submit(read_req(
             0,
             500,
@@ -429,7 +584,7 @@ mod tests {
 
     #[test]
     fn random_reads_are_cached_and_hit_on_reuse() {
-        let mut c = cache(1000);
+        let c = cache(1000);
         for _ in 0..2 {
             for i in 0..100u64 {
                 c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
@@ -446,7 +601,7 @@ mod tests {
 
     #[test]
     fn selective_allocation_refuses_lower_priority_when_full_of_higher() {
-        let mut c = cache(10);
+        let c = cache(10);
         // Fill the cache with priority-2 blocks.
         for i in 0..10u64 {
             c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
@@ -459,13 +614,13 @@ mod tests {
         assert_eq!(c.stats().action(CacheAction::Bypassing), 1);
         // Every original block is still cached.
         for i in 0..10u64 {
-            assert!(c.meta.contains(BlockAddr(i)));
+            assert!(c.contains_block(BlockAddr(i)));
         }
     }
 
     #[test]
     fn higher_priority_evicts_lower_priority_when_full() {
-        let mut c = cache(10);
+        let c = cache(10);
         for i in 0..10u64 {
             c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(4)));
         }
@@ -477,13 +632,13 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.action(CacheAction::Eviction), 5);
         for i in 100..105u64 {
-            assert!(c.meta.contains(BlockAddr(i)));
+            assert!(c.contains_block(BlockAddr(i)));
         }
     }
 
     #[test]
     fn non_caching_eviction_demotes_cached_blocks() {
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(0, 10, RequestClass::TemporaryData, QosPolicy::priority(1)));
         assert_eq!(c.resident_blocks(), 10);
         // Re-read with the eviction policy: blocks stay cached but move to
@@ -502,17 +657,19 @@ mod tests {
         }
         assert_eq!(c.resident_blocks(), 100);
         for i in 1000..1090u64 {
-            assert!(c.meta.contains(BlockAddr(i)));
+            assert!(c.contains_block(BlockAddr(i)));
         }
         // One more allocation evicts a demoted block, not a random one.
         c.submit(read_req(5000, 1, RequestClass::Random, QosPolicy::priority(3)));
-        let demoted_still_cached = (0..10u64).filter(|i| c.meta.contains(BlockAddr(*i))).count();
+        let demoted_still_cached = (0..10u64)
+            .filter(|i| c.contains_block(BlockAddr(*i)))
+            .count();
         assert_eq!(demoted_still_cached, 9);
     }
 
     #[test]
     fn trim_invalidates_cached_blocks_without_device_io() {
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(0, 50, RequestClass::TemporaryData, QosPolicy::priority(1)));
         assert_eq!(c.resident_blocks(), 50);
         let hdd_before = c.stats().hdd.unwrap().total_requests();
@@ -527,7 +684,7 @@ mod tests {
 
     #[test]
     fn write_buffer_flushes_when_threshold_exceeded() {
-        let mut c = cache(100); // write buffer limit = 10 blocks
+        let c = cache(100); // write buffer limit = 10 blocks
         assert_eq!(c.write_buffer_limit(), 10);
         for i in 0..10u64 {
             c.submit(write_req(i, 1, RequestClass::Update, QosPolicy::WriteBuffer));
@@ -544,20 +701,20 @@ mod tests {
 
     #[test]
     fn write_buffer_wins_space_over_other_priorities() {
-        let mut c = cache(10);
+        let c = cache(10);
         // Fill with the *highest* regular priority.
         for i in 0..10u64 {
             c.submit(read_req(i, 1, RequestClass::TemporaryData, QosPolicy::priority(1)));
         }
         // An update still gets buffered, displacing a priority-1 block.
         c.submit(write_req(100, 1, RequestClass::Update, QosPolicy::WriteBuffer));
-        assert!(c.meta.contains(BlockAddr(100)));
+        assert!(c.contains_block(BlockAddr(100)));
         assert_eq!(c.stats().action(CacheAction::Eviction), 1);
     }
 
     #[test]
     fn dirty_eviction_writes_back_to_hdd() {
-        let mut c = cache(10);
+        let c = cache(10);
         for i in 0..10u64 {
             c.submit(write_req(i, 1, RequestClass::TemporaryData, QosPolicy::priority(1)));
         }
@@ -573,7 +730,7 @@ mod tests {
 
     #[test]
     fn hit_on_cached_block_is_served_from_ssd() {
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(42, 1, RequestClass::Random, QosPolicy::priority(2)));
         let ssd_before = c.stats().ssd.unwrap().blocks_read;
         let hdd_before = c.stats().hdd.unwrap().blocks_read;
@@ -585,7 +742,7 @@ mod tests {
 
     #[test]
     fn sequential_hit_does_not_disturb_layout() {
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(0, 2, RequestClass::Random, QosPolicy::priority(3)));
         // Sequential scan over the same blocks: hits, but priorities stay 3.
         c.submit(read_req(
@@ -594,14 +751,14 @@ mod tests {
             RequestClass::Sequential,
             QosPolicy::NonCachingNonEviction,
         ));
-        assert_eq!(c.meta.get(BlockAddr(0)).unwrap().priority, CachePriority(3));
+        assert_eq!(c.cached_priority(BlockAddr(0)), Some(CachePriority(3)));
         assert_eq!(c.stats().class(RequestClass::Sequential).cache_hits, 2);
         assert_eq!(c.stats().action(CacheAction::ReAllocation), 0);
     }
 
     #[test]
     fn selective_allocation_displaces_the_lowest_priority_victim() {
-        let mut c = cache(10);
+        let c = cache(10);
         // Mixed residents: five priority-2 blocks, then five priority-5.
         for i in 0..5u64 {
             c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
@@ -615,10 +772,10 @@ mod tests {
         // least recently used block (10), never a priority-2 block.
         c.submit(read_req(100, 1, RequestClass::Random, QosPolicy::priority(3)));
         assert_eq!(c.resident_blocks(), 10);
-        assert!(c.meta.contains(BlockAddr(100)), "new block must be admitted");
-        assert!(!c.meta.contains(BlockAddr(10)), "LRU of lowest group evicted");
+        assert!(c.contains_block(BlockAddr(100)), "new block must be admitted");
+        assert!(!c.contains_block(BlockAddr(10)), "LRU of lowest group evicted");
         for i in (0..5u64).chain(11..15) {
-            assert!(c.meta.contains(BlockAddr(i)), "block {i} must survive");
+            assert!(c.contains_block(BlockAddr(i)), "block {i} must survive");
         }
         assert_eq!(c.stats().action(CacheAction::Eviction), 1);
     }
@@ -627,7 +784,7 @@ mod tests {
     fn non_allocatable_priority_bypasses_the_ssd() {
         // Priority >= t (paper: t = N - 1 = 7) is never admitted, even into
         // a completely empty cache.
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(0, 20, RequestClass::Random, QosPolicy::priority(7)));
         assert_eq!(c.resident_blocks(), 0);
         let s = c.stats();
@@ -640,7 +797,7 @@ mod tests {
     fn non_caching_eviction_misses_bypass_the_ssd() {
         // A TRIM-class access to blocks that are *not* cached must go
         // straight to the HDD without allocating.
-        let mut c = cache(100);
+        let c = cache(100);
         c.submit(read_req(
             0,
             10,
@@ -656,11 +813,47 @@ mod tests {
 
     #[test]
     fn resident_blocks_never_exceed_capacity() {
-        let mut c = cache(64);
+        let c = cache(64);
         for i in 0..1000u64 {
             let prio = 2 + (i % 5) as u8;
             c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(prio)));
             assert!(c.resident_blocks() <= 64);
         }
+    }
+
+    #[test]
+    fn sharded_cache_respects_per_shard_capacity_split() {
+        let c = HybridCache::with_shard_count(PolicyConfig::paper_default(), 10, 4);
+        assert_eq!(c.shard_count(), 4);
+        // Capacity 10 over 4 shards: 3 + 3 + 2 + 2 slots.
+        for i in 0..100u64 {
+            c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+        }
+        assert_eq!(c.resident_blocks(), 10);
+    }
+
+    #[test]
+    fn concurrent_submits_from_many_threads_are_fully_accounted() {
+        let c = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        c.submit(read_req(
+                            t * 10_000 + i,
+                            1,
+                            RequestClass::Random,
+                            QosPolicy::priority(2),
+                        ));
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.class(RequestClass::Random).accessed_blocks, 2_000);
+        // Disjoint addresses, ample capacity: every block was allocated.
+        assert_eq!(s.action(CacheAction::ReadAllocation), 2_000);
+        assert_eq!(c.resident_blocks(), 2_000);
     }
 }

@@ -10,6 +10,11 @@
 //! Tables 4, 6 and 7 (the paper notes that "although we record statistics
 //! separately for requests of different priorities, all requests are
 //! managed through a single LRU stack").
+//!
+//! The baseline shares the `&self` [`StorageSystem`] interface; since a
+//! single LRU stack is one global structure by definition, it serializes
+//! behind one mutex rather than lock-striping (it is a comparison point,
+//! not a scale target).
 
 use crate::allocator::SlotAllocator;
 use crate::lru::LruList;
@@ -20,7 +25,40 @@ use hstorage_storage::{
     BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, IoRequest,
     PolicyConfig, SimClock, SsdDevice, StorageDevice, TrimCommand,
 };
+use parking_lot::Mutex;
 use std::time::Duration;
+
+/// The mutable cache-management state, all behind one lock.
+struct LruInner {
+    meta: CacheMetadata,
+    lru: LruList<BlockAddr>,
+    alloc: SlotAllocator,
+    stats: CacheStats,
+}
+
+impl LruInner {
+    fn evict_one(&mut self) -> u64 {
+        let victim = self.lru.pop_lru().expect("evicting from an empty cache");
+        let entry = self.meta.remove(victim).expect("LRU/metadata mismatch");
+        self.stats.record_action(CacheAction::Eviction, 1);
+        self.alloc.release(entry.pbn);
+        if entry.is_dirty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn allocate_slot(&mut self) -> (u64, u64) {
+        let mut dirty_writebacks = 0;
+        loop {
+            if let Some(pbn) = self.alloc.allocate() {
+                return (pbn, dirty_writebacks);
+            }
+            dirty_writebacks += self.evict_one();
+        }
+    }
+}
 
 /// SSD cache over HDD managed by plain LRU.
 pub struct LruCache {
@@ -29,10 +67,7 @@ pub struct LruCache {
     clock: SimClock,
     ssd: SsdDevice,
     hdd: HddDevice,
-    meta: CacheMetadata,
-    lru: LruList<BlockAddr>,
-    alloc: SlotAllocator,
-    stats: CacheStats,
+    inner: Mutex<LruInner>,
 }
 
 impl LruCache {
@@ -61,10 +96,12 @@ impl LruCache {
             clock,
             ssd,
             hdd,
-            meta: CacheMetadata::new(),
-            lru: LruList::new(),
-            alloc: SlotAllocator::new(cache_capacity_blocks),
-            stats: CacheStats::new(),
+            inner: Mutex::new(LruInner {
+                meta: CacheMetadata::new(),
+                lru: LruList::new(),
+                alloc: SlotAllocator::new(cache_capacity_blocks),
+                stats: CacheStats::new(),
+            }),
         }
     }
 
@@ -73,26 +110,9 @@ impl LruCache {
         self.cache_capacity
     }
 
-    fn evict_one(&mut self) -> u64 {
-        let victim = self.lru.pop_lru().expect("evicting from an empty cache");
-        let entry = self.meta.remove(victim).expect("LRU/metadata mismatch");
-        self.stats.record_action(CacheAction::Eviction, 1);
-        self.alloc.release(entry.pbn);
-        if entry.is_dirty() {
-            1
-        } else {
-            0
-        }
-    }
-
-    fn allocate_slot(&mut self) -> (u64, u64) {
-        let mut dirty_writebacks = 0;
-        loop {
-            if let Some(pbn) = self.alloc.allocate() {
-                return (pbn, dirty_writebacks);
-            }
-            dirty_writebacks += self.evict_one();
-        }
+    /// Whether `lbn` is currently resident in the cache.
+    pub fn contains_block(&self, lbn: BlockAddr) -> bool {
+        self.inner.lock().meta.contains(lbn)
     }
 }
 
@@ -101,7 +121,7 @@ impl StorageSystem for LruCache {
         "LRU"
     }
 
-    fn submit(&mut self, req: ClassifiedRequest) {
+    fn submit(&self, req: ClassifiedRequest) {
         let prio = self.policy.resolve(req.policy);
         let mut hits = 0u64;
         let mut ssd_read = 0u64;
@@ -109,38 +129,39 @@ impl StorageSystem for LruCache {
         let mut hdd_read = 0u64;
         let mut hdd_write = 0u64;
 
+        let mut inner = self.inner.lock();
         for lbn in req.io.range.iter() {
-            if self.meta.contains(lbn) {
+            if inner.meta.contains(lbn) {
                 hits += 1;
-                self.lru.touch(&lbn);
-                self.stats.record_action(CacheAction::CacheHit, 1);
+                inner.lru.touch(&lbn);
+                inner.stats.record_action(CacheAction::CacheHit, 1);
                 match req.io.direction {
                     Direction::Read => ssd_read += 1,
                     Direction::Write => {
                         ssd_write += 1;
-                        if let Some(e) = self.meta.get_mut(lbn) {
+                        if let Some(e) = inner.meta.get_mut(lbn) {
                             e.state = BlockState::Dirty;
                         }
                     }
                 }
             } else {
                 // LRU admits everything.
-                let (pbn, writebacks) = self.allocate_slot();
+                let (pbn, writebacks) = inner.allocate_slot();
                 hdd_write += writebacks;
                 let state = match req.io.direction {
                     Direction::Read => {
-                        self.stats.record_action(CacheAction::ReadAllocation, 1);
+                        inner.stats.record_action(CacheAction::ReadAllocation, 1);
                         hdd_read += 1;
                         ssd_write += 1;
                         BlockState::Clean
                     }
                     Direction::Write => {
-                        self.stats.record_action(CacheAction::WriteAllocation, 1);
+                        inner.stats.record_action(CacheAction::WriteAllocation, 1);
                         ssd_write += 1;
                         BlockState::Dirty
                     }
                 };
-                self.meta.insert(
+                inner.meta.insert(
                     lbn,
                     CacheEntry {
                         pbn,
@@ -150,13 +171,15 @@ impl StorageSystem for LruCache {
                         state,
                     },
                 );
-                self.lru.insert_mru(lbn);
+                inner.lru.insert_mru(lbn);
             }
         }
 
         let blocks = req.blocks();
-        self.stats.record_class(req.class, blocks, hits);
-        self.stats.record_priority(prio.0, blocks, hits);
+        inner.stats.record_class(req.class, blocks, hits);
+        inner.stats.record_priority(prio.0, blocks, hits);
+        inner.stats.resident_blocks = inner.meta.len() as u64;
+        drop(inner);
 
         let seq = req.io.sequential;
         let start = req.io.range.start;
@@ -176,20 +199,21 @@ impl StorageSystem for LruCache {
             self.ssd
                 .serve(&IoRequest::write(BlockRange::new(start, ssd_write), seq));
         }
-        self.stats.resident_blocks = self.meta.len() as u64;
     }
 
-    fn trim(&mut self, _cmd: &TrimCommand) {
+    fn trim(&self, _cmd: &TrimCommand) {
         // A legacy (non-DSS) storage system ignores TRIM semantics for cache
         // management: stale temporary data stays cached until LRU ages it
         // out. This is precisely the behaviour the paper contrasts against.
     }
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.clone();
+        let inner = self.inner.lock();
+        let mut s = inner.stats.clone();
+        s.resident_blocks = inner.meta.len() as u64;
+        drop(inner);
         s.ssd = Some(self.ssd.stats());
         s.hdd = Some(self.hdd.stats());
-        s.resident_blocks = self.meta.len() as u64;
         s
     }
 
@@ -197,14 +221,14 @@ impl StorageSystem for LruCache {
         self.clock.now()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::new();
+    fn reset_stats(&self) {
+        self.inner.lock().stats = CacheStats::new();
         self.ssd.reset_stats();
         self.hdd.reset_stats();
     }
 
     fn resident_blocks(&self) -> u64 {
-        self.meta.len() as u64
+        self.inner.lock().meta.len() as u64
     }
 }
 
@@ -229,7 +253,7 @@ mod tests {
 
     #[test]
     fn lru_admits_sequential_data() {
-        let mut c = LruCache::new(100);
+        let c = LruCache::new(100);
         c.submit(read_req(0, 100, RequestClass::Sequential));
         // Unlike hStorage-DB, the scan fills the cache.
         assert_eq!(c.resident_blocks(), 100);
@@ -239,7 +263,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest_regardless_of_type() {
-        let mut c = LruCache::new(10);
+        let c = LruCache::new(10);
         // Hot random blocks...
         for i in 0..10u64 {
             c.submit(read_req(i, 1, RequestClass::Random));
@@ -247,13 +271,13 @@ mod tests {
         // ...are wiped out by a big sequential scan (cache pollution).
         c.submit(read_req(1000, 10, RequestClass::Sequential));
         for i in 0..10u64 {
-            assert!(!c.meta.contains(BlockAddr(i)));
+            assert!(!c.contains_block(BlockAddr(i)));
         }
     }
 
     #[test]
     fn lru_hits_on_reuse() {
-        let mut c = LruCache::new(50);
+        let c = LruCache::new(50);
         for _ in 0..3 {
             for i in 0..20u64 {
                 c.submit(read_req(i, 1, RequestClass::Random));
@@ -266,7 +290,7 @@ mod tests {
 
     #[test]
     fn trim_is_ignored() {
-        let mut c = LruCache::new(50);
+        let c = LruCache::new(50);
         c.submit(read_req(0, 20, RequestClass::TemporaryData));
         c.trim(&TrimCommand::single(BlockRange::new(0u64, 20)));
         // Stale temporary data stays resident.
@@ -275,10 +299,27 @@ mod tests {
 
     #[test]
     fn capacity_is_respected() {
-        let mut c = LruCache::new(32);
+        let c = LruCache::new(32);
         for i in 0..500u64 {
             c.submit(read_req(i, 1, RequestClass::Random));
             assert!(c.resident_blocks() <= 32);
         }
+    }
+
+    #[test]
+    fn concurrent_submits_are_serialized_but_complete() {
+        let c = LruCache::new(256);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        c.submit(read_req(t * 1_000 + i, 1, RequestClass::Random));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().class(RequestClass::Random).accessed_blocks, 400);
+        assert_eq!(c.resident_blocks(), 256);
     }
 }

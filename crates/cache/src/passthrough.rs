@@ -2,20 +2,23 @@
 //! SSD-only (the paper's ideal case).
 //!
 //! Both ignore the DSS classification entirely — they are legacy block
-//! devices.
+//! devices. Their statistics live behind a mutex so the `&self`
+//! [`StorageSystem`] interface can be served to concurrent callers; the
+//! devices themselves are already interior-mutable.
 
 use crate::stats::CacheStats;
 use crate::system::StorageSystem;
 use hstorage_storage::{
     ClassifiedRequest, HddDevice, SimClock, SsdDevice, StorageDevice, TrimCommand,
 };
+use parking_lot::Mutex;
 use std::time::Duration;
 
 /// Every request is served by the hard disk.
 pub struct HddOnly {
     clock: SimClock,
     hdd: HddDevice,
-    stats: CacheStats,
+    stats: Mutex<CacheStats>,
 }
 
 impl HddOnly {
@@ -25,7 +28,7 @@ impl HddOnly {
         HddOnly {
             hdd: HddDevice::cheetah(clock.clone()),
             clock,
-            stats: CacheStats::new(),
+            stats: Mutex::new(CacheStats::new()),
         }
     }
 }
@@ -41,15 +44,15 @@ impl StorageSystem for HddOnly {
         "HDD-only"
     }
 
-    fn submit(&mut self, req: ClassifiedRequest) {
-        self.stats.record_class(req.class, req.blocks(), 0);
+    fn submit(&self, req: ClassifiedRequest) {
+        self.stats.lock().record_class(req.class, req.blocks(), 0);
         self.hdd.serve(&req.io);
     }
 
-    fn trim(&mut self, _cmd: &TrimCommand) {}
+    fn trim(&self, _cmd: &TrimCommand) {}
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.clone();
+        let mut s = self.stats.lock().clone();
         s.hdd = Some(self.hdd.stats());
         s
     }
@@ -58,8 +61,8 @@ impl StorageSystem for HddOnly {
         self.clock.now()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::new();
+    fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::new();
         self.hdd.reset_stats();
     }
 }
@@ -68,7 +71,7 @@ impl StorageSystem for HddOnly {
 pub struct SsdOnly {
     clock: SimClock,
     ssd: SsdDevice,
-    stats: CacheStats,
+    stats: Mutex<CacheStats>,
 }
 
 impl SsdOnly {
@@ -78,7 +81,7 @@ impl SsdOnly {
         SsdOnly {
             ssd: SsdDevice::intel_320(clock.clone()),
             clock,
-            stats: CacheStats::new(),
+            stats: Mutex::new(CacheStats::new()),
         }
     }
 }
@@ -94,15 +97,15 @@ impl StorageSystem for SsdOnly {
         "SSD-only"
     }
 
-    fn submit(&mut self, req: ClassifiedRequest) {
-        self.stats.record_class(req.class, req.blocks(), 0);
+    fn submit(&self, req: ClassifiedRequest) {
+        self.stats.lock().record_class(req.class, req.blocks(), 0);
         self.ssd.serve(&req.io);
     }
 
-    fn trim(&mut self, _cmd: &TrimCommand) {}
+    fn trim(&self, _cmd: &TrimCommand) {}
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.clone();
+        let mut s = self.stats.lock().clone();
         s.ssd = Some(self.ssd.stats());
         s
     }
@@ -111,8 +114,8 @@ impl StorageSystem for SsdOnly {
         self.clock.now()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = CacheStats::new();
+    fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::new();
         self.ssd.reset_stats();
     }
 }
@@ -140,8 +143,8 @@ mod tests {
 
     #[test]
     fn ssd_only_much_faster_for_random() {
-        let mut hdd = HddOnly::new();
-        let mut ssd = SsdOnly::new();
+        let hdd = HddOnly::new();
+        let ssd = SsdOnly::new();
         for i in 0..200u64 {
             hdd.submit(rand_read(i * 10_000));
             ssd.submit(rand_read(i * 10_000));
@@ -151,8 +154,8 @@ mod tests {
 
     #[test]
     fn comparable_for_sequential() {
-        let mut hdd = HddOnly::new();
-        let mut ssd = SsdOnly::new();
+        let hdd = HddOnly::new();
+        let ssd = SsdOnly::new();
         for i in 0..100u64 {
             hdd.submit(seq_read(i * 128, 128));
             ssd.submit(seq_read(i * 128, 128));
@@ -163,7 +166,7 @@ mod tests {
 
     #[test]
     fn stats_record_classes_without_hits() {
-        let mut hdd = HddOnly::new();
+        let hdd = HddOnly::new();
         hdd.submit(seq_read(0, 64));
         hdd.submit(rand_read(1_000));
         let s = hdd.stats();

@@ -139,6 +139,24 @@ impl CacheStats {
         }
         t
     }
+
+    /// Folds another snapshot into this one: class, priority and action
+    /// counters are summed, and `resident_blocks` accumulates. Device
+    /// statistics are *not* merged (shards share one device pair); the
+    /// caller attaches them once on the aggregate. This is how the sharded
+    /// cache's striped statistics are combined on read.
+    pub fn merge(&mut self, other: &CacheStats) {
+        for (class, counters) in &other.per_class {
+            self.per_class.entry(class.clone()).or_default().merge(counters);
+        }
+        for (prio, counters) in &other.per_priority {
+            self.per_priority.entry(*prio).or_default().merge(counters);
+        }
+        for (action, count) in &other.actions {
+            *self.actions.entry(action.clone()).or_default() += count;
+        }
+        self.resident_blocks += other.resident_blocks;
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +189,31 @@ mod tests {
         assert_eq!(s.class(RequestClass::Update), ClassCounters::default());
         assert_eq!(s.priority(2).cache_hits, 90);
         assert_eq!(s.totals().accessed_blocks, 1110);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_residents() {
+        let mut a = CacheStats::new();
+        a.record_class(RequestClass::Random, 100, 40);
+        a.record_priority(2, 100, 40);
+        a.record_action(CacheAction::Eviction, 3);
+        a.resident_blocks = 10;
+
+        let mut b = CacheStats::new();
+        b.record_class(RequestClass::Random, 50, 10);
+        b.record_class(RequestClass::Sequential, 5, 0);
+        b.record_action(CacheAction::Eviction, 1);
+        b.record_action(CacheAction::Bypassing, 9);
+        b.resident_blocks = 7;
+
+        a.merge(&b);
+        assert_eq!(a.class(RequestClass::Random).accessed_blocks, 150);
+        assert_eq!(a.class(RequestClass::Random).cache_hits, 50);
+        assert_eq!(a.class(RequestClass::Sequential).accessed_blocks, 5);
+        assert_eq!(a.priority(2).cache_hits, 40);
+        assert_eq!(a.action(CacheAction::Eviction), 4);
+        assert_eq!(a.action(CacheAction::Bypassing), 9);
+        assert_eq!(a.resident_blocks, 17);
     }
 
     #[test]

@@ -1,27 +1,34 @@
 //! The storage-system interface the DBMS storage manager talks to.
+//!
+//! The trait is the concurrency boundary of the stack: every method takes
+//! `&self` and implementations are `Send + Sync`, so one storage system can
+//! be shared — typically as an `Arc<dyn StorageSystem>` — by any number of
+//! concurrently executing query streams. Implementations serialize
+//! internally (lock striping in the hybrid cache, a single mutex in the
+//! baselines); callers never need an exclusive borrow.
 
 use crate::stats::CacheStats;
 use hstorage_storage::{ClassifiedRequest, TrimCommand};
 use std::time::Duration;
 
 /// A complete storage configuration (devices + management policy) that can
-/// serve classified requests.
+/// serve classified requests from concurrent callers.
 ///
 /// Implementations:
 /// * [`crate::hybrid::HybridCache`] — the hStorage-DB priority cache,
 /// * [`crate::lru_cache::LruCache`] — classification-blind LRU cache,
 /// * [`crate::passthrough::HddOnly`] / [`crate::passthrough::SsdOnly`] —
 ///   single-device baselines.
-pub trait StorageSystem: Send {
+pub trait StorageSystem: Send + Sync {
     /// Human-readable configuration name ("HDD-only", "LRU", …).
     fn name(&self) -> &str;
 
     /// Serves one classified request. Legacy configurations ignore the
     /// classification; DSS-aware configurations use it for placement.
-    fn submit(&mut self, req: ClassifiedRequest);
+    fn submit(&self, req: ClassifiedRequest);
 
     /// Handles a TRIM command for dead LBA ranges.
-    fn trim(&mut self, cmd: &TrimCommand);
+    fn trim(&self, cmd: &TrimCommand);
 
     /// Statistics accumulated since construction or the last reset.
     fn stats(&self) -> CacheStats;
@@ -30,7 +37,7 @@ pub trait StorageSystem: Send {
     fn now(&self) -> Duration;
 
     /// Clears statistics counters (does not drop cache contents).
-    fn reset_stats(&mut self);
+    fn reset_stats(&self);
 
     /// Number of blocks currently resident in the cache (0 for
     /// single-device configurations).

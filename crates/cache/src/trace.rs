@@ -7,10 +7,16 @@
 //! engine. Traces can also be replayed against a different storage
 //! configuration, which is how the cache microbenches compare managers on
 //! identical input.
+//!
+//! The recorder shares the `&self` [`StorageSystem`] interface, so the
+//! trace buffer lives behind a mutex; with concurrent callers the recorded
+//! order is the arrival order at the recorder (one interleaving of the
+//! concurrent submits).
 
 use crate::stats::CacheStats;
 use crate::system::StorageSystem;
 use hstorage_storage::{ClassifiedRequest, RequestClass, TrimCommand};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -65,7 +71,7 @@ impl Trace {
 
     /// Replays the trace against another storage system and returns its
     /// statistics and elapsed simulated time.
-    pub fn replay(&self, target: &mut dyn StorageSystem) -> (CacheStats, Duration) {
+    pub fn replay(&self, target: &dyn StorageSystem) -> (CacheStats, Duration) {
         let start = target.now();
         for event in &self.events {
             match event {
@@ -80,7 +86,7 @@ impl Trace {
 /// A [`StorageSystem`] decorator that records every request it forwards.
 pub struct TraceRecorder<S> {
     inner: S,
-    trace: Trace,
+    trace: Mutex<Trace>,
 }
 
 impl<S: StorageSystem> TraceRecorder<S> {
@@ -88,18 +94,18 @@ impl<S: StorageSystem> TraceRecorder<S> {
     pub fn new(inner: S) -> Self {
         TraceRecorder {
             inner,
-            trace: Trace::default(),
+            trace: Mutex::new(Trace::default()),
         }
     }
 
-    /// The trace recorded so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// A snapshot of the trace recorded so far.
+    pub fn trace(&self) -> Trace {
+        self.trace.lock().clone()
     }
 
     /// Consumes the recorder, returning the wrapped system and the trace.
     pub fn into_parts(self) -> (S, Trace) {
-        (self.inner, self.trace)
+        (self.inner, self.trace.into_inner())
     }
 
     /// The wrapped storage system.
@@ -113,13 +119,13 @@ impl<S: StorageSystem> StorageSystem for TraceRecorder<S> {
         self.inner.name()
     }
 
-    fn submit(&mut self, req: ClassifiedRequest) {
-        self.trace.events.push(TraceEvent::Request(req));
+    fn submit(&self, req: ClassifiedRequest) {
+        self.trace.lock().events.push(TraceEvent::Request(req));
         self.inner.submit(req);
     }
 
-    fn trim(&mut self, cmd: &TrimCommand) {
-        self.trace.events.push(TraceEvent::Trim(cmd.clone()));
+    fn trim(&self, cmd: &TrimCommand) {
+        self.trace.lock().events.push(TraceEvent::Trim(cmd.clone()));
         self.inner.trim(cmd);
     }
 
@@ -131,7 +137,7 @@ impl<S: StorageSystem> StorageSystem for TraceRecorder<S> {
         self.inner.now()
     }
 
-    fn reset_stats(&mut self) {
+    fn reset_stats(&self) {
         self.inner.reset_stats();
     }
 
@@ -157,7 +163,7 @@ mod tests {
 
     #[test]
     fn records_requests_and_trims_in_order() {
-        let mut rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
+        let rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
         rec.submit(req(1, RequestClass::Random, QosPolicy::priority(2)));
         rec.submit(req(2, RequestClass::TemporaryData, QosPolicy::priority(1)));
         rec.trim(&TrimCommand::single(BlockRange::new(2u64, 1)));
@@ -170,7 +176,7 @@ mod tests {
 
     #[test]
     fn breakdown_by_class_and_policy() {
-        let mut rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
+        let rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
         for i in 0..5 {
             rec.submit(req(i, RequestClass::Random, QosPolicy::priority(2)));
         }
@@ -184,7 +190,7 @@ mod tests {
 
     #[test]
     fn replay_reproduces_identical_behaviour_on_an_identical_system() {
-        let mut rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 32));
+        let rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 32));
         for round in 0..3u64 {
             for i in 0..20u64 {
                 rec.submit(req(i, RequestClass::Random, QosPolicy::priority(2)));
@@ -193,8 +199,8 @@ mod tests {
         }
         let (original, trace) = rec.into_parts();
 
-        let mut replayed = HybridCache::new(PolicyConfig::paper_default(), 32);
-        let (stats, elapsed) = trace.replay(&mut replayed);
+        let replayed = HybridCache::new(PolicyConfig::paper_default(), 32);
+        let (stats, elapsed) = trace.replay(&replayed);
         assert_eq!(
             stats.totals(),
             original.stats().totals(),
@@ -206,7 +212,7 @@ mod tests {
     #[test]
     fn replay_lets_managers_be_compared_on_identical_input() {
         // Record a pollution-heavy stream against hStorage-DB...
-        let mut rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
+        let rec = TraceRecorder::new(HybridCache::new(PolicyConfig::paper_default(), 64));
         for i in 0..64u64 {
             rec.submit(req(i, RequestClass::Random, QosPolicy::priority(2)));
         }
@@ -221,8 +227,8 @@ mod tests {
         let (hybrid, trace) = rec.into_parts();
 
         // ...and replay it against the LRU baseline.
-        let mut lru = LruCache::new(64);
-        let (lru_stats, _) = trace.replay(&mut lru);
+        let lru = LruCache::new(64);
+        let (lru_stats, _) = trace.replay(&lru);
 
         let hybrid_hits = hybrid.stats().class(RequestClass::Random).cache_hits;
         let lru_hits = lru_stats.class(RequestClass::Random).cache_hits;

@@ -4,6 +4,19 @@
 //! into classified I/O against a [`StorageSystem`], going through the DBMS
 //! buffer pool first and assigning a QoS policy to every request via the
 //! policy assignment table at issue time.
+//!
+//! Storage is accessed through `&dyn StorageSystem`: the storage service is
+//! shared, and all its mutation is interior. Two multi-stream drivers are
+//! provided on top of the single-query path:
+//!
+//! * [`run_concurrent`] — the deterministic cooperative slicer used by the
+//!   paper-figure experiments: one executor, one buffer pool, streams
+//!   interleaved a fixed number of operations at a time. Fully
+//!   reproducible, single-threaded.
+//! * [`run_threaded`] — real OS-thread concurrency: each stream runs on its
+//!   own thread with its own executor (and buffer pool) against one shared
+//!   `Arc<dyn StorageSystem>`, with one [`ConcurrencyRegistry`] shared by
+//!   all streams so Rule 5 still governs priority assignment.
 
 use crate::buffer_pool::BufferPool;
 use crate::catalog::Catalog;
@@ -20,6 +33,7 @@ use hstorage_storage::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Executor tuning knobs.
@@ -126,7 +140,7 @@ impl QueryExecutor {
         &mut self,
         plan: &PlanTree,
         catalog: &mut Catalog,
-        storage: &mut dyn StorageSystem,
+        storage: &dyn StorageSystem,
     ) -> QueryStats {
         let program = self.compile(plan, catalog);
         let ticket = self.registry.register_query(plan);
@@ -147,7 +161,7 @@ impl QueryExecutor {
         op: &IoOp,
         level_bounds: (u32, u32),
         catalog: &mut Catalog,
-        storage: &mut dyn StorageSystem,
+        storage: &dyn StorageSystem,
         stats: &mut QueryStats,
     ) {
         match op {
@@ -204,7 +218,7 @@ impl QueryExecutor {
     /// One random single-block read that goes through the buffer pool.
     fn random_block_access(
         &mut self,
-        storage: &mut dyn StorageSystem,
+        storage: &dyn StorageSystem,
         stats: &mut QueryStats,
         info: &SemanticInfo,
         level_bounds: (u32, u32),
@@ -230,7 +244,7 @@ impl QueryExecutor {
     #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
-        storage: &mut dyn StorageSystem,
+        storage: &dyn StorageSystem,
         stats: &mut QueryStats,
         info: &SemanticInfo,
         level_bounds: (u32, u32),
@@ -305,11 +319,16 @@ pub struct CompletedQuery {
 /// shared storage system with a shared DBMS buffer pool. All queries are
 /// registered with the executor's concurrency registry for their duration,
 /// so Rule 5 governs priority assignment.
+///
+/// This is the *deterministic* driver: a single thread, a fixed
+/// interleaving, bit-identical results run to run — the tool for
+/// reproducing the paper's throughput figures. For real parallelism over OS
+/// threads use [`run_threaded`].
 pub fn run_concurrent(
     executor: &mut QueryExecutor,
     streams: &[StreamSpec],
     catalog: &mut Catalog,
-    storage: &mut dyn StorageSystem,
+    storage: &dyn StorageSystem,
     ops_per_slice: usize,
 ) -> Vec<CompletedQuery> {
     assert!(ops_per_slice > 0, "ops_per_slice must be positive");
@@ -344,15 +363,20 @@ pub fn run_concurrent(
             };
             any_work = true;
 
-            let end = (query.cursor + ops_per_slice).min(query.program.ops.len());
-            // Borrow the ops out of the program to appease the borrow
-            // checker while calling back into the executor.
-            let ops: Vec<IoOp> = query.program.ops[query.cursor..end].to_vec();
-            let bounds = query.program.level_bounds;
-            for op in &ops {
-                executor.execute_op(op, bounds, catalog, storage, &mut query.stats);
+            // Split borrows: the ops are read out of `program` while the
+            // stats are written, so the slice executes in place — no
+            // per-slice clone of the `IoOp`s.
+            let ActiveQuery {
+                program,
+                cursor,
+                stats,
+                ..
+            } = query;
+            let end = (*cursor + ops_per_slice).min(program.ops.len());
+            for op in &program.ops[*cursor..end] {
+                executor.execute_op(op, program.level_bounds, catalog, storage, stats);
             }
-            query.cursor = end;
+            *cursor = end;
 
             if query.cursor >= query.program.ops.len() {
                 let mut done = active[idx].take().expect("query was active");
@@ -371,6 +395,80 @@ pub fn run_concurrent(
         }
     }
     completed
+}
+
+/// Runs each query stream on its own OS thread against one shared storage
+/// system.
+///
+/// Every stream gets its own [`QueryExecutor`] (with its own DBMS buffer
+/// pool and a per-stream RNG seed of `config.seed + stream index`) and its
+/// own clone of `catalog` for temporary-file bookkeeping, with the temp
+/// region relocated to a disjoint full-size per-stream copy so concurrent
+/// spills never alias each other's blocks in the shared storage; all
+/// executors
+/// share `registry`, so Rule 5 priority assignment sees every concurrently
+/// running query exactly as the cooperative slicer does. The storage system
+/// serializes internally (lock striping in the hybrid cache), so the total
+/// device traffic is the union of all streams' requests — but the
+/// interleaving, and therefore per-query cache hit counts, are
+/// scheduling-dependent. Use [`run_concurrent`] when bit-exact
+/// reproducibility matters and `run_threaded` to exercise or measure real
+/// parallelism.
+///
+/// Results are returned grouped by stream, in stream order.
+pub fn run_threaded(
+    config: ExecutorConfig,
+    policy: PolicyConfig,
+    registry: &ConcurrencyRegistry,
+    streams: &[StreamSpec],
+    catalog: &Catalog,
+    storage: &Arc<dyn StorageSystem>,
+) -> Vec<CompletedQuery> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(idx, stream)| {
+                let storage = Arc::clone(storage);
+                let registry = registry.clone();
+                let mut catalog = catalog.clone();
+                // Relocate each stream's temp region to a disjoint,
+                // full-size copy of the original (stream 0 keeps the
+                // original placement), so concurrent spills never alias
+                // each other's blocks in the shared storage. The block
+                // address space is simulated, so stacking fresh regions
+                // past the original is free; keeping the original length
+                // preserves each stream's spill/wrap behaviour. A single
+                // stream keeps the whole region and the parent's cursor,
+                // matching plain `run_query`.
+                if streams.len() > 1 {
+                    let region = catalog.temp_region();
+                    let start = region.start.0 + idx as u64 * region.len;
+                    catalog.set_temp_region(BlockRange::new(start, region.len));
+                }
+                let stream_config = ExecutorConfig {
+                    seed: config.seed.wrapping_add(idx as u64),
+                    ..config
+                };
+                scope.spawn(move || {
+                    let mut executor =
+                        QueryExecutor::with_registry(stream_config, policy, registry);
+                    stream
+                        .queries
+                        .iter()
+                        .map(|plan| CompletedQuery {
+                            stream: stream.name.clone(),
+                            stats: executor.run_query(plan, &mut catalog, storage.as_ref()),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stream thread panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -435,8 +533,8 @@ mod tests {
     fn sequential_query_issues_only_sequential_requests() {
         let (mut cat, table, _) = small_catalog();
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 1_000).build();
-        let stats = exec.run_query(&seq_plan(table), &mut cat, storage.as_mut());
+        let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 1_000).build();
+        let stats = exec.run_query(&seq_plan(table), &mut cat, storage.as_ref());
         assert_eq!(stats.blocks(RequestClass::Sequential), 2_000);
         assert_eq!(stats.requests(RequestClass::Random), 0);
         assert!(stats.elapsed > Duration::ZERO);
@@ -449,8 +547,8 @@ mod tests {
     fn random_query_populates_cache_and_buffer_pool() {
         let (mut cat, table, index) = small_catalog();
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
-        let stats = exec.run_query(&random_plan(table, index, 3_000), &mut cat, storage.as_mut());
+        let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let stats = exec.run_query(&random_plan(table, index, 3_000), &mut cat, storage.as_ref());
         assert_eq!(stats.requests(RequestClass::Sequential), 0);
         assert!(stats.blocks(RequestClass::Random) > 0);
         assert!(storage.resident_blocks() > 0);
@@ -461,9 +559,9 @@ mod tests {
     fn repeated_random_query_benefits_from_the_ssd_cache() {
         let (mut cat, table, index) = small_catalog();
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
-        let cold = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_mut());
-        let warm = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_mut());
+        let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let cold = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_ref());
+        let warm = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_ref());
         assert!(
             warm.io_time < cold.io_time / 2,
             "warm {:?} vs cold {:?}",
@@ -486,8 +584,8 @@ mod tests {
             ),
         );
         let mut exec = executor();
-        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
-        let stats = exec.run_query(&plan, &mut cat, &mut hybrid);
+        let hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        let stats = exec.run_query(&plan, &mut cat, &hybrid);
         assert_eq!(stats.blocks(RequestClass::TemporaryData), 512); // write + read
         assert_eq!(stats.blocks(RequestClass::TemporaryDataTrim), 256);
         // After the TRIM at end of lifetime nothing remains cached.
@@ -505,8 +603,8 @@ mod tests {
             PlanNode::leaf(OperatorKind::Update, Access::Update { table, blocks: 50 }),
         );
         let mut exec = executor();
-        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
-        let stats = exec.run_query(&plan, &mut cat, &mut hybrid);
+        let hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        let stats = exec.run_query(&plan, &mut cat, &hybrid);
         assert_eq!(stats.requests(RequestClass::Update), 50);
         let s = hybrid.stats();
         assert_eq!(s.class(RequestClass::Update).accessed_blocks, 50);
@@ -546,8 +644,8 @@ mod tests {
         let plan = PlanTree::new("two-level", root);
 
         let mut exec = executor();
-        let mut hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
-        exec.run_query(&plan, &mut cat, &mut hybrid);
+        let hybrid = HybridCache::new(PolicyConfig::paper_default(), 10_000);
+        exec.run_query(&plan, &mut cat, &hybrid);
         let s = hybrid.stats();
         assert!(s.priority(2).accessed_blocks > 0, "priority 2 traffic");
         assert!(s.priority(3).accessed_blocks > 0, "priority 3 traffic");
@@ -558,7 +656,7 @@ mod tests {
     fn concurrent_driver_completes_all_queries() {
         let (mut cat, table, index) = small_catalog();
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
         let streams = vec![
             StreamSpec {
                 name: "s1".into(),
@@ -569,7 +667,7 @@ mod tests {
                 queries: vec![seq_plan(table)],
             },
         ];
-        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_mut(), 16);
+        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_ref(), 16);
         assert_eq!(done.len(), 3);
         assert_eq!(exec.registry().active_queries(), 0);
         assert!(done.iter().all(|q| q.stats.elapsed > Duration::ZERO));
@@ -583,12 +681,12 @@ mod tests {
 
         // Standalone execution.
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
-        let solo = exec.run_query(&random_plan(table, index, 500), &mut cat, storage.as_mut());
+        let storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
+        let solo = exec.run_query(&random_plan(table, index, 500), &mut cat, storage.as_ref());
 
         // The same query with two competing sequential streams.
         let mut exec = executor();
-        let mut storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
+        let storage = StorageConfig::new(StorageConfigKind::HddOnly, 0).build();
         let streams = vec![
             StreamSpec {
                 name: "q".into(),
@@ -603,8 +701,91 @@ mod tests {
                 queries: vec![seq_plan(table)],
             },
         ];
-        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_mut(), 8);
+        let done = run_concurrent(&mut exec, &streams, &mut cat, storage.as_ref(), 8);
         let contended = &done.iter().find(|q| q.stream == "q").unwrap().stats;
         assert!(contended.elapsed > solo.elapsed);
+    }
+
+    #[test]
+    fn threaded_driver_completes_all_queries_on_shared_storage() {
+        let (cat, table, index) = small_catalog();
+        let storage: Arc<dyn StorageSystem> = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000)
+            .with_shards(8)
+            .build_shared();
+        let registry = ConcurrencyRegistry::new();
+        let streams = vec![
+            StreamSpec {
+                name: "s1".into(),
+                queries: vec![random_plan(table, index, 500), seq_plan(table)],
+            },
+            StreamSpec {
+                name: "s2".into(),
+                queries: vec![seq_plan(table)],
+            },
+            StreamSpec {
+                name: "s3".into(),
+                queries: vec![random_plan(table, index, 200)],
+            },
+        ];
+        let cfg = ExecutorConfig {
+            buffer_pool_blocks: 128,
+            ..ExecutorConfig::default()
+        };
+        let done = run_threaded(
+            cfg,
+            PolicyConfig::paper_default(),
+            &registry,
+            &streams,
+            &cat,
+            &storage,
+        );
+        assert_eq!(done.len(), 4);
+        assert_eq!(registry.active_queries(), 0);
+        assert!(done.iter().all(|q| q.stats.elapsed > Duration::ZERO));
+        // Results are grouped by stream, in stream order.
+        let order: Vec<&str> = done.iter().map(|q| q.stream.as_str()).collect();
+        assert_eq!(order, ["s1", "s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn threaded_driver_with_one_stream_matches_run_query() {
+        let (cat, table, index) = small_catalog();
+        let plans = vec![random_plan(table, index, 400), seq_plan(table)];
+        let cfg = ExecutorConfig {
+            buffer_pool_blocks: 128,
+            ..ExecutorConfig::default()
+        };
+
+        let mut solo_cat = cat.clone();
+        let mut exec = QueryExecutor::new(cfg, PolicyConfig::paper_default());
+        let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+        let solo: Vec<QueryStats> = plans
+            .iter()
+            .map(|p| exec.run_query(p, &mut solo_cat, storage.as_ref()))
+            .collect();
+
+        let shared: Arc<dyn StorageSystem> =
+            StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build_shared();
+        let registry = ConcurrencyRegistry::new();
+        let streams = vec![StreamSpec {
+            name: "only".into(),
+            queries: plans.clone(),
+        }];
+        let threaded = run_threaded(
+            cfg,
+            PolicyConfig::paper_default(),
+            &registry,
+            &streams,
+            &cat,
+            &shared,
+        );
+        assert_eq!(threaded.len(), solo.len());
+        for (t, s) in threaded.iter().zip(&solo) {
+            assert_eq!(t.stats.total_blocks(), s.total_blocks());
+            assert_eq!(t.stats.total_requests(), s.total_requests());
+            for class in RequestClass::all() {
+                assert_eq!(t.stats.blocks(class), s.blocks(class), "{class:?}");
+            }
+        }
     }
 }

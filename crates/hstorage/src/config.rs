@@ -22,6 +22,10 @@ pub struct SystemConfig {
     pub policy: PolicyConfig,
     /// Executor tuning.
     pub executor: ExecutorConfig,
+    /// Lock-striping shard count for the hStorage-DB storage kind: 1 keeps
+    /// the paper's exact global allocation/eviction; larger values enable
+    /// parallel submits for the threaded stream driver.
+    pub storage_shards: usize,
 }
 
 impl SystemConfig {
@@ -43,6 +47,7 @@ impl SystemConfig {
             buffer_pool_blocks,
             policy: PolicyConfig::paper_default(),
             executor,
+            storage_shards: 1,
         }
     }
 
@@ -62,6 +67,7 @@ impl SystemConfig {
             buffer_pool_blocks,
             policy: PolicyConfig::paper_default(),
             executor,
+            storage_shards: 1,
         }
     }
 
@@ -77,9 +83,18 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the storage shard count (e.g. for threaded throughput
+    /// runs).
+    pub fn with_storage_shards(mut self, shards: usize) -> Self {
+        self.storage_shards = shards;
+        self
+    }
+
     /// The storage configuration descriptor implied by this system config.
     pub fn storage_config(&self) -> StorageConfig {
-        StorageConfig::new(self.storage_kind, self.cache_blocks).with_policy(self.policy)
+        StorageConfig::new(self.storage_kind, self.cache_blocks)
+            .with_policy(self.policy)
+            .with_shards(self.storage_shards)
     }
 }
 
@@ -114,5 +129,7 @@ mod tests {
         assert_eq!(cfg.cache_blocks, 123);
         assert_eq!(cfg.policy.total_priorities, 6);
         assert_eq!(cfg.storage_config().cache_capacity_blocks, 123);
+        let sharded = cfg.with_storage_shards(8);
+        assert_eq!(sharded.storage_config().shards, 8);
     }
 }

@@ -4,16 +4,22 @@
 use crate::config::SystemConfig;
 use hstorage_cache::{CacheStats, StorageSystem};
 use hstorage_engine::{
-    run_concurrent, CompletedQuery, ConcurrencyRegistry, QueryExecutor, QueryStats, StreamSpec,
+    run_concurrent, run_threaded, CompletedQuery, ConcurrencyRegistry, QueryExecutor, QueryStats,
+    StreamSpec,
 };
 use hstorage_tpch::{build_plan, QueryId, TpchDatabase};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A complete system instance: database + storage + executor.
+///
+/// The storage system is held behind an `Arc` so it can be shared with the
+/// OS threads of [`TpchSystem::run_streams_threaded`]; every storage method
+/// takes `&self`, so the façade never needs an exclusive borrow of it.
 pub struct TpchSystem {
     config: SystemConfig,
     db: TpchDatabase,
-    storage: Box<dyn StorageSystem>,
+    storage: Arc<dyn StorageSystem>,
     executor: QueryExecutor,
 }
 
@@ -21,7 +27,7 @@ impl TpchSystem {
     /// Builds the system described by `config`.
     pub fn new(config: SystemConfig) -> Self {
         let db = TpchDatabase::build(config.scale);
-        let storage = config.storage_config().build();
+        let storage = config.storage_config().build_shared();
         let executor = QueryExecutor::with_registry(
             config.executor,
             config.policy,
@@ -54,7 +60,7 @@ impl TpchSystem {
     pub fn run(&mut self, query: QueryId) -> QueryStats {
         let plan = build_plan(query, &self.db);
         self.executor
-            .run_query(&plan, &mut self.db.catalog, self.storage.as_mut())
+            .run_query(&plan, &mut self.db.catalog, self.storage.as_ref())
     }
 
     /// Runs a sequence of queries back to back (cache contents carry over,
@@ -63,27 +69,53 @@ impl TpchSystem {
         queries.iter().map(|q| self.run(*q)).collect()
     }
 
-    /// Runs several query streams concurrently (the throughput test).
-    /// `ops_per_slice` controls the interleaving granularity.
+    /// Runs several query streams concurrently with the deterministic
+    /// cooperative slicer (the throughput test). `ops_per_slice` controls
+    /// the interleaving granularity.
     pub fn run_streams(
         &mut self,
         streams: &[(String, Vec<QueryId>)],
         ops_per_slice: usize,
     ) -> Vec<CompletedQuery> {
-        let specs: Vec<StreamSpec> = streams
+        let specs = self.stream_specs(streams);
+        run_concurrent(
+            &mut self.executor,
+            &specs,
+            &mut self.db.catalog,
+            self.storage.as_ref(),
+            ops_per_slice,
+        )
+    }
+
+    /// Runs several query streams on real OS threads — one thread per
+    /// stream — against the shared storage system. All streams share the
+    /// system's concurrency registry (Rule 5); each gets its own buffer
+    /// pool and catalog snapshot. See
+    /// [`run_threaded`](hstorage_engine::run_threaded) for the determinism
+    /// trade-off versus [`TpchSystem::run_streams`].
+    pub fn run_streams_threaded(
+        &mut self,
+        streams: &[(String, Vec<QueryId>)],
+    ) -> Vec<CompletedQuery> {
+        let specs = self.stream_specs(streams);
+        run_threaded(
+            self.config.executor,
+            self.config.policy,
+            self.executor.registry(),
+            &specs,
+            &self.db.catalog,
+            &self.storage,
+        )
+    }
+
+    fn stream_specs(&self, streams: &[(String, Vec<QueryId>)]) -> Vec<StreamSpec> {
+        streams
             .iter()
             .map(|(name, queries)| StreamSpec {
                 name: name.clone(),
                 queries: queries.iter().map(|q| build_plan(*q, &self.db)).collect(),
             })
-            .collect();
-        run_concurrent(
-            &mut self.executor,
-            &specs,
-            &mut self.db.catalog,
-            self.storage.as_mut(),
-            ops_per_slice,
-        )
+            .collect()
     }
 
     /// Snapshot of the storage system's statistics.
@@ -155,6 +187,19 @@ mod tests {
             32,
         );
         assert_eq!(completed.len(), 3);
+    }
+
+    #[test]
+    fn threaded_streams_complete_all_queries() {
+        let mut sys = tiny(StorageConfigKind::HStorageDb);
+        let completed = sys.run_streams_threaded(&[
+            ("s1".to_string(), vec![QueryId::Q(1), QueryId::Q(6)]),
+            ("s2".to_string(), vec![QueryId::Q(19)]),
+            ("s3".to_string(), vec![QueryId::Q(6)]),
+        ]);
+        assert_eq!(completed.len(), 4);
+        assert_eq!(sys.executor.registry().active_queries(), 0);
+        assert!(completed.iter().all(|q| q.stats.elapsed > Duration::ZERO));
     }
 
     #[test]

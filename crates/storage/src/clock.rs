@@ -4,8 +4,13 @@
 //! only ever moves forward; experiments read it before and after a workload
 //! to obtain the simulated elapsed time that stands in for the wall-clock
 //! execution times the paper reports.
+//!
+//! The clock sits on the hot path of every request, shared by every device
+//! of a storage system and — with the threaded workload driver — by every
+//! executing stream, so it is lock-free: a single `AtomicU64` advanced with
+//! `fetch_add`.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,7 +20,7 @@ use std::time::Duration;
 /// The clock is cheap to clone; clones share the same underlying counter.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    nanos: Arc<Mutex<u128>>,
+    nanos: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -26,15 +31,27 @@ impl SimClock {
 
     /// Current virtual time.
     pub fn now(&self) -> Duration {
-        let n = *self.nanos.lock();
-        duration_from_nanos(n)
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
     }
 
     /// Advances the clock by `d` and returns the new time.
+    ///
+    /// Saturates at `u64::MAX` nanoseconds (~584 years of virtual time)
+    /// instead of wrapping, preserving the semantics of the earlier
+    /// `u128`-based implementation.
     pub fn advance(&self, d: Duration) -> Duration {
-        let mut n = self.nanos.lock();
-        *n += d.as_nanos();
-        duration_from_nanos(*n)
+        let delta = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.nanos.fetch_add(delta, Ordering::Relaxed);
+        match prev.checked_add(delta) {
+            Some(new) => Duration::from_nanos(new),
+            None => {
+                // The counter wrapped; clamp it back to the saturation
+                // point. Concurrent advances may briefly observe the wrapped
+                // value, but every path through here restores the maximum.
+                self.nanos.store(u64::MAX, Ordering::Relaxed);
+                Duration::from_nanos(u64::MAX)
+            }
+        }
     }
 
     /// Advances the clock by a number of nanoseconds.
@@ -44,14 +61,8 @@ impl SimClock {
 
     /// Resets the clock to zero. Used between independent experiment runs.
     pub fn reset(&self) {
-        *self.nanos.lock() = 0;
+        self.nanos.store(0, Ordering::Relaxed);
     }
-}
-
-fn duration_from_nanos(n: u128) -> Duration {
-    // Duration::from_nanos takes u64; virtual experiments stay far below
-    // u64::MAX nanoseconds (~584 years), but saturate defensively.
-    Duration::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))
 }
 
 #[cfg(test)]
@@ -86,5 +97,32 @@ mod tests {
         c.advance(Duration::from_secs(3));
         c.reset();
         assert_eq!(c.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let c = SimClock::new();
+        c.advance(Duration::from_nanos(u64::MAX - 10));
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_nanos(u64::MAX));
+        // Further advances stay pinned at the maximum.
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn concurrent_advances_sum_exactly() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.advance_nanos(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), Duration::from_nanos(4 * 10_000 * 3));
     }
 }

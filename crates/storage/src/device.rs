@@ -5,6 +5,11 @@
 //! amount, and updates its counters. Devices do not store data contents —
 //! the experiments only depend on timing and on block identity, which the
 //! cache layer tracks.
+//!
+//! Devices are served through `&self`: service accounting is interior-
+//! mutable so one device instance can be shared by the concurrent shards of
+//! a storage system (and by the threaded workload driver) without an
+//! exclusive borrow.
 
 use crate::request::IoRequest;
 use crate::stats::DeviceStats;
@@ -20,7 +25,7 @@ pub enum DeviceKind {
 }
 
 /// A simulated block device.
-pub trait StorageDevice: Send {
+pub trait StorageDevice: Send + Sync {
     /// The kind of device.
     fn kind(&self) -> DeviceKind;
 
@@ -30,17 +35,17 @@ pub trait StorageDevice: Send {
     /// Computes the service time of `req` *without* advancing the clock or
     /// updating statistics. Pure function of the model and internal head
     /// state; used by tests and by the cache to reason about costs.
-    fn service_time(&mut self, req: &IoRequest) -> Duration;
+    fn service_time(&self, req: &IoRequest) -> Duration;
 
     /// Serves the request: computes the service time, advances the shared
     /// clock, updates statistics, and returns the service time.
-    fn serve(&mut self, req: &IoRequest) -> Duration;
+    fn serve(&self, req: &IoRequest) -> Duration;
 
     /// Snapshot of the device statistics.
     fn stats(&self) -> DeviceStats;
 
     /// Clears statistics (does not reset mechanical state).
-    fn reset_stats(&mut self);
+    fn reset_stats(&self);
 }
 
 /// Records a served request into `stats`.

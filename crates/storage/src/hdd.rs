@@ -17,6 +17,7 @@ use crate::clock::SimClock;
 use crate::device::{record, DeviceKind, StorageDevice};
 use crate::request::IoRequest;
 use crate::stats::DeviceStats;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -57,15 +58,23 @@ impl Default for HddParameters {
     }
 }
 
-/// A simulated hard disk drive.
-#[derive(Debug)]
-pub struct HddDevice {
-    params: HddParameters,
-    clock: SimClock,
+/// Mechanical state and counters, updated together under one lock so a
+/// served request atomically records its traffic and moves the head.
+#[derive(Debug, Default)]
+struct HddState {
     stats: DeviceStats,
     /// Block address immediately after the last request served, used to
     /// detect physically contiguous accesses that avoid repositioning.
     next_contiguous: Option<BlockAddr>,
+}
+
+/// A simulated hard disk drive. Service accounting and head position are
+/// interior-mutable so the device can be shared behind `&self`.
+#[derive(Debug)]
+pub struct HddDevice {
+    params: HddParameters,
+    clock: SimClock,
+    state: Mutex<HddState>,
 }
 
 impl HddDevice {
@@ -74,8 +83,7 @@ impl HddDevice {
         HddDevice {
             params,
             clock,
-            stats: DeviceStats::new(),
-            next_contiguous: None,
+            state: Mutex::new(HddState::default()),
         }
     }
 
@@ -96,6 +104,17 @@ impl HddDevice {
     fn positioning_time(&self) -> Duration {
         self.params.avg_seek + self.params.avg_rotational_latency
     }
+
+    /// Service time given the current head position.
+    fn service_time_at(&self, next_contiguous: Option<BlockAddr>, req: &IoRequest) -> Duration {
+        let contiguous = next_contiguous == Some(req.range.start);
+        let positioned = req.sequential && contiguous;
+        let mut t = self.params.command_overhead + self.transfer_time(req.bytes());
+        if !positioned {
+            t += self.positioning_time();
+        }
+        t
+    }
 }
 
 impl StorageDevice for HddDevice {
@@ -107,30 +126,27 @@ impl StorageDevice for HddDevice {
         self.params.capacity_blocks
     }
 
-    fn service_time(&mut self, req: &IoRequest) -> Duration {
-        let contiguous = self.next_contiguous == Some(req.range.start);
-        let positioned = req.sequential && contiguous;
-        let mut t = self.params.command_overhead + self.transfer_time(req.bytes());
-        if !positioned {
-            t += self.positioning_time();
-        }
-        t
+    fn service_time(&self, req: &IoRequest) -> Duration {
+        let next = self.state.lock().next_contiguous;
+        self.service_time_at(next, req)
     }
 
-    fn serve(&mut self, req: &IoRequest) -> Duration {
-        let t = self.service_time(req);
-        self.next_contiguous = Some(req.range.end());
+    fn serve(&self, req: &IoRequest) -> Duration {
+        let mut state = self.state.lock();
+        let t = self.service_time_at(state.next_contiguous, req);
+        state.next_contiguous = Some(req.range.end());
+        record(&mut state.stats, req, t);
+        drop(state);
         self.clock.advance(t);
-        record(&mut self.stats, req, t);
         t
     }
 
     fn stats(&self) -> DeviceStats {
-        self.stats.clone()
+        self.state.lock().stats.clone()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = DeviceStats::new();
+    fn reset_stats(&self) {
+        self.state.lock().stats = DeviceStats::new();
     }
 }
 
@@ -145,7 +161,7 @@ mod tests {
 
     #[test]
     fn random_access_pays_positioning() {
-        let mut d = hdd();
+        let d = hdd();
         let seq = IoRequest::read(BlockRange::new(0u64, 1), true);
         let rand = IoRequest::read(BlockRange::new(1_000_000u64, 1), false);
         // Prime head position so the sequential request is contiguous.
@@ -157,7 +173,7 @@ mod tests {
 
     #[test]
     fn sequential_stream_runs_at_bandwidth() {
-        let mut d = hdd();
+        let d = hdd();
         // 128 MiB sequential read as 1 MiB requests.
         let blocks_per_req = (1 << 20) / BLOCK_SIZE as u64;
         let mut addr = 0u64;
@@ -179,7 +195,7 @@ mod tests {
 
     #[test]
     fn random_iops_in_expected_range() {
-        let mut d = hdd();
+        let d = hdd();
         for i in 0..100u64 {
             d.serve(&IoRequest::read(BlockRange::new(i * 100_000, 1), false));
         }
@@ -191,7 +207,7 @@ mod tests {
     #[test]
     fn serve_advances_shared_clock() {
         let clock = SimClock::new();
-        let mut d = HddDevice::cheetah(clock.clone());
+        let d = HddDevice::cheetah(clock.clone());
         d.serve(&IoRequest::read(BlockRange::new(0u64, 16), false));
         assert!(clock.now() > Duration::ZERO);
         assert_eq!(clock.now(), d.stats().busy_time);
@@ -199,7 +215,7 @@ mod tests {
 
     #[test]
     fn reset_stats_clears_counters() {
-        let mut d = hdd();
+        let d = hdd();
         d.serve(&IoRequest::write(BlockRange::new(0u64, 4), false));
         assert_eq!(d.stats().write_requests, 1);
         d.reset_stats();

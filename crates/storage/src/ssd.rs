@@ -16,6 +16,7 @@ use crate::clock::SimClock;
 use crate::device::{record, DeviceKind, StorageDevice};
 use crate::request::{Direction, IoRequest};
 use crate::stats::DeviceStats;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -56,12 +57,13 @@ impl Default for SsdParameters {
     }
 }
 
-/// A simulated solid-state drive.
+/// A simulated solid-state drive. Statistics are interior-mutable so the
+/// device can be shared behind `&self` by concurrent callers.
 #[derive(Debug)]
 pub struct SsdDevice {
     params: SsdParameters,
     clock: SimClock,
-    stats: DeviceStats,
+    stats: Mutex<DeviceStats>,
 }
 
 impl SsdDevice {
@@ -70,7 +72,7 @@ impl SsdDevice {
         SsdDevice {
             params,
             clock,
-            stats: DeviceStats::new(),
+            stats: Mutex::new(DeviceStats::new()),
         }
     }
 
@@ -94,7 +96,7 @@ impl StorageDevice for SsdDevice {
         self.params.capacity_blocks
     }
 
-    fn service_time(&mut self, req: &IoRequest) -> Duration {
+    fn service_time(&self, req: &IoRequest) -> Duration {
         let t = if req.sequential {
             let bw = match req.direction {
                 Direction::Read => self.params.sequential_read_bandwidth,
@@ -111,19 +113,19 @@ impl StorageDevice for SsdDevice {
         t + self.params.command_overhead
     }
 
-    fn serve(&mut self, req: &IoRequest) -> Duration {
+    fn serve(&self, req: &IoRequest) -> Duration {
         let t = self.service_time(req);
         self.clock.advance(t);
-        record(&mut self.stats, req, t);
+        record(&mut self.stats.lock(), req, t);
         t
     }
 
     fn stats(&self) -> DeviceStats {
-        self.stats.clone()
+        self.stats.lock().clone()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = DeviceStats::new();
+    fn reset_stats(&self) {
+        *self.stats.lock() = DeviceStats::new();
     }
 }
 
@@ -139,7 +141,7 @@ mod tests {
 
     #[test]
     fn random_read_latency_matches_iops() {
-        let mut d = ssd();
+        let d = ssd();
         let t = d.service_time(&IoRequest::read(BlockRange::new(0u64, 1), false));
         let expected = Duration::from_secs_f64(1.0 / 39_500.0);
         assert!(t >= expected);
@@ -148,7 +150,7 @@ mod tests {
 
     #[test]
     fn random_writes_slower_than_random_reads() {
-        let mut d = ssd();
+        let d = ssd();
         let r = d.service_time(&IoRequest::read(BlockRange::new(0u64, 64), false));
         let w = d.service_time(&IoRequest::write(BlockRange::new(0u64, 64), false));
         assert!(w > r);
@@ -156,7 +158,7 @@ mod tests {
 
     #[test]
     fn sequential_read_faster_than_sequential_write() {
-        let mut d = ssd();
+        let d = ssd();
         let blocks = (64 << 20) / BLOCK_SIZE as u64;
         let r = d.service_time(&IoRequest::read(BlockRange::new(0u64, blocks), true));
         let w = d.service_time(&IoRequest::write(BlockRange::new(0u64, blocks), true));
@@ -169,8 +171,8 @@ mod tests {
         // 4.2.1): HDD sequential performance is comparable to the SSD, but
         // random performance is far worse.
         let clock = SimClock::new();
-        let mut ssd = SsdDevice::intel_320(clock.clone());
-        let mut hdd = HddDevice::cheetah(clock);
+        let ssd = SsdDevice::intel_320(clock.clone());
+        let hdd = HddDevice::cheetah(clock);
 
         let seq = IoRequest::read(BlockRange::new(0u64, (8 << 20) / BLOCK_SIZE as u64), true);
         let ssd_seq = ssd.service_time(&seq);
@@ -189,7 +191,7 @@ mod tests {
     #[test]
     fn serve_accumulates_stats_and_clock() {
         let clock = SimClock::new();
-        let mut d = SsdDevice::intel_320(clock.clone());
+        let d = SsdDevice::intel_320(clock.clone());
         d.serve(&IoRequest::read(BlockRange::new(0u64, 2), false));
         d.serve(&IoRequest::write(BlockRange::new(2u64, 2), true));
         let s = d.stats();
@@ -197,5 +199,24 @@ mod tests {
         assert_eq!(s.write_requests, 1);
         assert_eq!(s.total_blocks(), 4);
         assert_eq!(clock.now(), s.busy_time);
+    }
+
+    #[test]
+    fn shared_device_serves_concurrently() {
+        let clock = SimClock::new();
+        let d = SsdDevice::intel_320(clock);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let d = &d;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        d.serve(&IoRequest::read(BlockRange::new(t * 1_000 + i, 1), false));
+                    }
+                });
+            }
+        });
+        let s = d.stats();
+        assert_eq!(s.read_requests, 400);
+        assert_eq!(s.blocks_read, 400);
     }
 }

@@ -61,7 +61,7 @@ proptest! {
     /// counts never exceed the access counts.
     #[test]
     fn hybrid_cache_invariants(requests in prop::collection::vec(arb_request(), 1..200), capacity in 16u64..256) {
-        let mut cache = HybridCache::new(PolicyConfig::paper_default(), capacity);
+        let cache = HybridCache::new(PolicyConfig::paper_default(), capacity);
         for req in &requests {
             cache.submit(*req);
             prop_assert!(cache.resident_blocks() <= capacity);
@@ -82,7 +82,7 @@ proptest! {
     /// no matter what preceded it.
     #[test]
     fn trim_everything_empties_the_cache(requests in prop::collection::vec(arb_request(), 1..100)) {
-        let mut cache = HybridCache::new(PolicyConfig::paper_default(), 128);
+        let cache = HybridCache::new(PolicyConfig::paper_default(), 128);
         for req in &requests {
             cache.submit(*req);
         }
@@ -94,7 +94,7 @@ proptest! {
     /// a small working set entirely from cache once warmed.
     #[test]
     fn lru_cache_invariants(requests in prop::collection::vec(arb_request(), 1..200), capacity in 16u64..256) {
-        let mut cache = LruCache::new(capacity);
+        let cache = LruCache::new(capacity);
         for req in &requests {
             cache.submit(*req);
             prop_assert!(cache.resident_blocks() <= capacity);
@@ -112,7 +112,7 @@ proptest! {
         working_set in 1u64..64,
         repeats in 2u32..6,
     ) {
-        let mut cache = HybridCache::new(PolicyConfig::paper_default(), 256);
+        let cache = HybridCache::new(PolicyConfig::paper_default(), 256);
         for _ in 0..repeats {
             for i in 0..working_set {
                 cache.submit(ClassifiedRequest::new(

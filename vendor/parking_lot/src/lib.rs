@@ -31,6 +31,17 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempts to acquire the mutex without blocking. Returns `None` if it
+    /// is held by another thread (parking_lot returns an `Option`, not the
+    /// `Result` of `std::sync`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutably borrows the underlying data without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -62,6 +73,11 @@ impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
         RwLock(std::sync::RwLock::new(value))
     }
+
+    /// Consumes the rwlock, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {
@@ -74,10 +90,60 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Mutably borrows the underlying data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_lock_returns_none_while_held() {
+        let m = Mutex::new(5);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        let guard = m.try_lock().expect("uncontended try_lock succeeds");
+        assert_eq!(*guard, 5);
+    }
+
+    #[test]
+    fn try_lock_observes_mutations() {
+        let m = Mutex::new(0);
+        *m.try_lock().unwrap() += 7;
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn mutex_get_mut_and_into_inner() {
+        let mut m = Mutex::new(vec![1]);
+        m.get_mut().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_get_mut_and_into_inner() {
+        let mut l = RwLock::new(String::from("a"));
+        l.get_mut().push('b');
+        assert_eq!(*l.read(), "ab");
+        assert_eq!(l.into_inner(), "ab");
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = RwLock::new(3);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 6);
     }
 }
