@@ -16,7 +16,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hstorage_cache::{HybridCache, StorageSystem};
-use hstorage_storage::{BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass};
+use hstorage_storage::{
+    BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 

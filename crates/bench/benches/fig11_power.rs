@@ -15,12 +15,16 @@ fn bench_fig11(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for kind in fig11::POWER_TEST_CONFIGS {
-        group.bench_with_input(BenchmarkId::new("sequence", kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
-                black_box(system.run_sequence(&sequence))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequence", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut system = TpchSystem::new(SystemConfig::single_query(scale, kind));
+                    black_box(system.run_sequence(&sequence))
+                });
+            },
+        );
     }
     group.finish();
 

@@ -2,8 +2,8 @@
 //! under the four storage configurations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hstorage::experiments::run_single_query;
 use hstorage::experiments::fig5;
+use hstorage::experiments::run_single_query;
 use hstorage_cache::StorageConfigKind;
 use hstorage_tpch::QueryId;
 use std::hint::black_box;

@@ -14,13 +14,9 @@ fn bench_fig9(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for kind in StorageConfigKind::all() {
-        group.bench_with_input(
-            BenchmarkId::new("Q18", kind.label()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| black_box(run_single_query(scale, kind, QueryId::Q(18))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("Q18", kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(run_single_query(scale, kind, QueryId::Q(18))));
+        });
     }
     group.finish();
 

@@ -14,7 +14,10 @@ fn run_throughput(scale: TpchScale, kind: StorageConfigKind) -> usize {
     let mut streams: Vec<(String, Vec<QueryId>)> = (0..PAPER_QUERY_STREAMS)
         .map(|i| (format!("query-stream-{}", i + 1), query_stream(i)))
         .collect();
-    streams.push(("update-stream".to_string(), update_stream(PAPER_QUERY_STREAMS)));
+    streams.push((
+        "update-stream".to_string(),
+        update_stream(PAPER_QUERY_STREAMS),
+    ));
     system.run_streams(&streams, 64).len()
 }
 
@@ -25,9 +28,13 @@ fn bench_table9(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for kind in StorageConfigKind::all() {
-        group.bench_with_input(BenchmarkId::new("throughput_test", kind.label()), &kind, |b, &kind| {
-            b.iter(|| black_box(run_throughput(scale, kind)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("throughput_test", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_throughput(scale, kind)));
+            },
+        );
     }
     group.finish();
 

@@ -1,0 +1,268 @@
+//! CI performance-regression gate.
+//!
+//! Runs a quick submit-throughput workload (shared with the
+//! `batch_throughput` bench via `hstorage_bench::workload`), writes the
+//! measurements to `BENCH_report.json` as machine-readable
+//! `PaperComparison`-style rows, compares them against the committed
+//! `BENCH_baseline.json`, and exits non-zero if any *gated* metric
+//! regressed by more than 25% — or if batched submission is not strictly
+//! faster than per-request submission (the vectored-path acceptance
+//! criterion).
+//!
+//! All row values are oriented so that **higher is better** (throughputs
+//! and speedup ratios). Not every row is gated:
+//!
+//! * `sim:` rows are measured in *simulated* device time, which is
+//!   deterministic — identical on every machine — so any drift is a real
+//!   behaviour change in the storage model or batching pipeline. Gated.
+//! * The wall-clock *speedup ratio* is machine-robust (both sides run on
+//!   the same machine in the same process). Gated.
+//! * Absolute wall-clock throughputs vary with the runner's hardware, so
+//!   they are reported for the record but **not** compared against the
+//!   committed baseline (a laptop baseline would fail every slower CI
+//!   runner spuriously).
+//!
+//! A gated metric missing from the baseline is an error: renaming or
+//! adding rows requires refreshing the baseline, otherwise the gate would
+//! silently guard nothing.
+//!
+//! Usage:
+//!   bench_gate [--baseline <path>] [--report <path>] [--write-baseline]
+//!
+//! `--write-baseline` records the current measurements as the new baseline
+//! (use after an intentional performance change) instead of gating.
+
+use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
+use hstorage_bench::workload::{
+    drive, fresh_cache, random_read, scan_read, QUEUE_DEPTH, TOTAL_SUBMITS,
+};
+use hstorage_cache::StorageSystem;
+use std::time::Instant;
+
+const WALL_RUNS: usize = 5;
+/// A gated metric fails when it drops below this fraction of the baseline.
+const REGRESSION_FLOOR: f64 = 0.75;
+
+/// One gate metric: value measured this run, and whether the 25% baseline
+/// comparison applies to it.
+struct Measurement {
+    metric: &'static str,
+    value: f64,
+    gated: bool,
+}
+
+/// Median wall-clock submits/second over [`WALL_RUNS`] fresh-cache runs of
+/// the scan-shaped workload (the semantic-batch hot path the vectored
+/// submission pipeline targets).
+fn wall_throughput(batch: usize) -> f64 {
+    let mut rates: Vec<f64> = (0..WALL_RUNS)
+        .map(|_| {
+            let cache = fresh_cache(QUEUE_DEPTH);
+            let start = Instant::now();
+            drive(&cache, batch, scan_read);
+            TOTAL_SUBMITS as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WALL_RUNS / 2]
+}
+
+/// Simulated device seconds for a batched scan at the given queue depth —
+/// deterministic, so it is a bit-stable regression guard for the storage
+/// timing model and the merge pipeline.
+fn sim_scan_seconds(queue_depth: usize) -> f64 {
+    let cache = fresh_cache(queue_depth);
+    drive(&cache, 64, scan_read);
+    cache.now().as_secs_f64()
+}
+
+/// Deterministic simulated seconds for the random-shaped workload — guards
+/// the cache-management and random-service paths the scan metric misses.
+fn sim_random_seconds() -> f64 {
+    let cache = fresh_cache(QUEUE_DEPTH);
+    drive(&cache, 64, random_read);
+    cache.now().as_secs_f64()
+}
+
+fn main() {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut report_path = "BENCH_report.json".to_string();
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            "--report" => report_path = args.next().expect("--report needs a path"),
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_gate [--baseline <path>] [--report <path>] [--write-baseline]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("bench_gate: quick submit-throughput workload ({TOTAL_SUBMITS} submits per run)");
+    let wall_single = wall_throughput(1);
+    let wall_batch64 = wall_throughput(64);
+    let sim_unbatched = sim_scan_seconds(1);
+    let sim_batched = sim_scan_seconds(QUEUE_DEPTH);
+    let sim_random = sim_random_seconds();
+    let measurements = [
+        Measurement {
+            metric: "wall: scan single-submit throughput (submits/s)",
+            value: wall_single,
+            gated: false,
+        },
+        Measurement {
+            metric: "wall: scan batch=64 submit throughput (submits/s)",
+            value: wall_batch64,
+            gated: false,
+        },
+        Measurement {
+            metric: "wall: scan batch=64 speedup over single submit (x)",
+            value: wall_batch64 / wall_single,
+            gated: true,
+        },
+        Measurement {
+            metric: "sim: scan device throughput at queue depth 32 (submits/sim-s)",
+            value: TOTAL_SUBMITS as f64 / sim_batched,
+            gated: true,
+        },
+        Measurement {
+            metric: "sim: scan queue-merge device-time speedup at depth 32 (x)",
+            value: sim_unbatched / sim_batched,
+            gated: true,
+        },
+        Measurement {
+            metric: "sim: random workload device throughput (submits/sim-s)",
+            value: TOTAL_SUBMITS as f64 / sim_random,
+            gated: true,
+        },
+    ];
+
+    if write_baseline {
+        let rows: Vec<PaperComparison> = measurements
+            .iter()
+            .map(|m| PaperComparison::new(m.metric, m.value, m.value))
+            .collect();
+        std::fs::write(&baseline_path, comparisons_to_json(&rows)).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&report_path, comparisons_to_json(&rows)).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot write {report_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match comparisons_from_json(&text) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("bench_gate: cannot parse {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read {baseline_path}: {e} \
+                 (run with --write-baseline to create it)"
+            );
+            std::process::exit(1);
+        }
+    };
+    let baseline_value = |metric: &str| -> Option<f64> {
+        baseline
+            .iter()
+            .find(|r| r.metric == metric)
+            .map(|r| r.measured)
+    };
+
+    let mut failures = Vec::new();
+
+    // Report rows: `paper` holds the baseline value (the fresh measurement
+    // for ungated rows without one), `measured` the value from this run —
+    // the same shape the paper-fidelity comparisons use. A *gated* metric
+    // with no baseline row is an error, not a silent self-baseline.
+    let report: Vec<PaperComparison> = measurements
+        .iter()
+        .map(|m| {
+            let base = baseline_value(m.metric);
+            if m.gated && base.is_none() {
+                failures.push(format!(
+                    "{}: no row in {baseline_path} — refresh it with --write-baseline",
+                    m.metric
+                ));
+            }
+            PaperComparison::new(m.metric, base.unwrap_or(m.value), m.value)
+        })
+        .collect();
+    for stale in baseline
+        .iter()
+        .filter(|b| measurements.iter().all(|m| m.metric != b.metric))
+    {
+        eprintln!(
+            "bench_gate: warning: baseline row {:?} matches no measured metric (stale?)",
+            stale.metric
+        );
+    }
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .zip(&report)
+        .map(|(m, r)| {
+            vec![
+                r.metric.clone(),
+                format!("{:.3}", r.paper),
+                format!("{:.3}", r.measured),
+                format!("{:.2}", r.measured / r.paper),
+                if m.gated { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["metric", "baseline", "measured", "ratio", "gated"], &rows)
+    );
+
+    std::fs::write(&report_path, comparisons_to_json(&report)).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot write {report_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("report written to {report_path}");
+
+    // Acceptance criterion of the vectored path, gated even against a
+    // stale baseline: batched submission must beat per-request submission.
+    if wall_batch64 <= wall_single {
+        failures.push(format!(
+            "batch=64 throughput ({wall_batch64:.0}/s) is not strictly better than \
+             single-submit ({wall_single:.0}/s)"
+        ));
+    }
+    for (m, row) in measurements.iter().zip(&report) {
+        if m.gated && row.measured < REGRESSION_FLOOR * row.paper {
+            failures.push(format!(
+                "{}: measured {:.3} is below {:.0}% of baseline {:.3}",
+                row.metric,
+                row.measured,
+                REGRESSION_FLOOR * 100.0,
+                row.paper
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_gate: REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "bench_gate: all gated metrics within {:.0}% of baseline",
+        REGRESSION_FLOOR * 100.0
+    );
+}

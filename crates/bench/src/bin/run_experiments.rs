@@ -2,19 +2,32 @@
 //! them, together with the paper-vs-measured comparison rows recorded in
 //! EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p hstorage-bench --bin run_experiments [scale]`
+//! Usage:
+//! `cargo run --release -p hstorage-bench --bin run_experiments [scale] [--check]`
 //! where the optional `scale` is a TPC-H scale factor (default 0.1 for the
 //! single-query experiments, half of that for the sequence/concurrency
-//! experiments).
+//! experiments). With `--check` the binary exits non-zero if any
+//! paper-vs-measured key ratio disagrees in direction — the CI
+//! paper-fidelity gate.
 
 use hstorage::experiments::{ablation, fig11, fig4, fig5, fig6, fig9, table9};
 use hstorage::report::PaperComparison;
 use hstorage_tpch::TpchScale;
 
 fn main() {
-    let arg_scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok());
+    let mut arg_scale: Option<f64> = None;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else if let Ok(scale) = arg.parse::<f64>() {
+            arg_scale = Some(scale);
+        } else {
+            eprintln!("unknown argument: {arg}");
+            eprintln!("usage: run_experiments [scale] [--check]");
+            std::process::exit(2);
+        }
+    }
     let single_scale = arg_scale
         .map(TpchScale::new)
         .unwrap_or_else(hstorage_bench::report_scale);
@@ -61,7 +74,10 @@ fn main() {
     }
     let (with_trim, without_trim) = ablation::trim_ablation(long_scale);
     println!("{:>41}: {:.3} s", with_trim.setting, with_trim.seconds);
-    println!("{:>41}: {:.3} s", without_trim.setting, without_trim.seconds);
+    println!(
+        "{:>41}: {:.3} s",
+        without_trim.setting, without_trim.seconds
+    );
 
     println!("\n==================== Paper vs measured (key ratios) ====================");
     let comparisons = vec![
@@ -90,7 +106,11 @@ fn main() {
             3.9,
             f6.ssd_speedup("Q21").unwrap_or(0.0),
         ),
-        PaperComparison::new("Q18 SSD-only speedup vs HDD-only", 1.45, f9.ssd_speedup().unwrap_or(0.0)),
+        PaperComparison::new(
+            "Q18 SSD-only speedup vs HDD-only",
+            1.45,
+            f9.ssd_speedup().unwrap_or(0.0),
+        ),
         PaperComparison::new(
             "Q18 hStorage-DB speedup vs LRU",
             1.2,
@@ -122,5 +142,13 @@ fn main() {
         );
     }
     let mismatches = comparisons.iter().filter(|c| !c.same_direction()).count();
-    println!("\n{} of {} key ratios agree in direction", comparisons.len() - mismatches, comparisons.len());
+    println!(
+        "\n{} of {} key ratios agree in direction",
+        comparisons.len() - mismatches,
+        comparisons.len()
+    );
+    if check && mismatches > 0 {
+        eprintln!("--check: {mismatches} key ratio(s) disagree with the paper's direction");
+        std::process::exit(1);
+    }
 }

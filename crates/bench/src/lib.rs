@@ -25,6 +25,80 @@ pub fn report_concurrency_scale() -> TpchScale {
     TpchScale::new(0.05)
 }
 
+/// The submit-throughput workload shared by the `batch_throughput` bench
+/// and the `bench_gate` CI binary.
+///
+/// Both must measure the *same* workload — the bench is how a developer
+/// inspects a regression the gate reports — so the request shapes, cache
+/// construction and drive loop live here, once.
+pub mod workload {
+    use hstorage_cache::{HybridCache, StorageSystem};
+    use hstorage_storage::{
+        BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass,
+    };
+
+    /// Cache capacity in blocks.
+    pub const BLOCKS: u64 = 4_096;
+    /// Requests per run.
+    pub const TOTAL_SUBMITS: u64 = 10_000;
+    /// Device queue depth used by the batched configurations.
+    pub const QUEUE_DEPTH: usize = 32;
+    /// Lock-striping shard count.
+    pub const SHARDS: usize = 8;
+
+    /// Adjacent single-block sequential reads — the shape a table scan
+    /// produces (bypasses the cache, merges on the device).
+    pub fn scan_read(i: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(i, 1), true),
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        )
+    }
+
+    /// Scattered single-block random reads at mixed priorities — exercises
+    /// cache management; no transfers merge.
+    pub fn random_read(i: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new((i * 17) % (BLOCKS * 2), 1), false),
+            RequestClass::Random,
+            QosPolicy::priority(2 + (i % 5) as u8),
+        )
+    }
+
+    /// A fresh sharded hybrid cache at the given device queue depth.
+    pub fn fresh_cache(queue_depth: usize) -> HybridCache {
+        HybridCache::with_shard_count_and_queue_depth(
+            PolicyConfig::paper_default(),
+            BLOCKS,
+            SHARDS,
+            queue_depth,
+        )
+    }
+
+    /// Drives [`TOTAL_SUBMITS`] requests of the given shape through `cache`
+    /// in `batch`-sized vectored submissions (batch 1 degenerates to the
+    /// per-request `submit` path). Returns the resident block count so
+    /// benches have a value to `black_box`.
+    pub fn drive(
+        cache: &HybridCache,
+        batch: usize,
+        make: impl Fn(u64) -> ClassifiedRequest,
+    ) -> u64 {
+        let mut buf = Vec::with_capacity(batch);
+        for i in 0..TOTAL_SUBMITS {
+            buf.push(make(i));
+            if buf.len() == batch {
+                cache.submit_batch(std::mem::take(&mut buf));
+            }
+        }
+        if !buf.is_empty() {
+            cache.submit_batch(buf);
+        }
+        cache.resident_blocks()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

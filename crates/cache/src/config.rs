@@ -4,7 +4,9 @@ use crate::hybrid::HybridCache;
 use crate::lru_cache::LruCache;
 use crate::passthrough::{HddOnly, SsdOnly};
 use crate::system::StorageSystem;
-use hstorage_storage::PolicyConfig;
+use hstorage_storage::{
+    HddDevice, HddParameters, PolicyConfig, SimClock, SsdDevice, SsdParameters,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -70,6 +72,13 @@ pub struct StorageConfig {
     /// larger values let concurrent submits on different shards proceed in
     /// parallel at the cost of shard-local eviction decisions.
     pub shards: usize,
+    /// Device queue depth for the batched submission path: the maximum
+    /// number of physically adjacent same-direction requests a device may
+    /// merge into one transfer when served through
+    /// [`StorageSystem::submit_batch`]. 1 (the default) disables merging,
+    /// which keeps batched submission timing-identical to per-request
+    /// submission — the paper-exact setting.
+    pub queue_depth: usize,
 }
 
 impl StorageConfig {
@@ -80,6 +89,7 @@ impl StorageConfig {
             cache_capacity_blocks,
             policy: PolicyConfig::paper_default(),
             shards: 1,
+            queue_depth: 1,
         }
     }
 
@@ -96,16 +106,45 @@ impl StorageConfig {
         self
     }
 
+    /// Overrides the device queue depth used by the batched submission
+    /// path.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        self.queue_depth = queue_depth;
+        self
+    }
+
     /// Builds the storage system.
     pub fn build(&self) -> Box<dyn StorageSystem> {
+        let clock = SimClock::new();
+        let ssd = || {
+            SsdDevice::new(
+                SsdParameters::intel_320().with_queue_depth(self.queue_depth),
+                clock.clone(),
+            )
+        };
+        let hdd = || {
+            HddDevice::new(
+                HddParameters::cheetah_15k7().with_queue_depth(self.queue_depth),
+                clock.clone(),
+            )
+        };
         match self.kind {
-            StorageConfigKind::HddOnly => Box::new(HddOnly::new()),
-            StorageConfigKind::SsdOnly => Box::new(SsdOnly::new()),
-            StorageConfigKind::Lru => Box::new(LruCache::new(self.cache_capacity_blocks)),
-            StorageConfigKind::HStorageDb => Box::new(HybridCache::with_shard_count(
+            StorageConfigKind::HddOnly => Box::new(HddOnly::with_device(hdd(), clock.clone())),
+            StorageConfigKind::SsdOnly => Box::new(SsdOnly::with_device(ssd(), clock.clone())),
+            StorageConfigKind::Lru => Box::new(LruCache::with_devices(
+                self.cache_capacity_blocks,
+                ssd(),
+                hdd(),
+                clock.clone(),
+            )),
+            StorageConfigKind::HStorageDb => Box::new(HybridCache::with_devices_sharded(
                 self.policy,
                 self.cache_capacity_blocks,
                 self.shards,
+                ssd(),
+                hdd(),
+                clock.clone(),
             )),
         }
     }
@@ -132,10 +171,8 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> = StorageConfigKind::all()
-            .iter()
-            .map(|k| k.label())
-            .collect();
+        let labels: std::collections::HashSet<_> =
+            StorageConfigKind::all().iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 

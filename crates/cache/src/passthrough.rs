@@ -25,8 +25,14 @@ impl HddOnly {
     /// Creates an HDD-only configuration with the paper's disk model.
     pub fn new() -> Self {
         let clock = SimClock::new();
+        Self::with_device(HddDevice::cheetah(clock.clone()), clock)
+    }
+
+    /// Creates an HDD-only configuration over an explicitly constructed
+    /// disk. The device must share `clock`.
+    pub fn with_device(hdd: HddDevice, clock: SimClock) -> Self {
         HddOnly {
-            hdd: HddDevice::cheetah(clock.clone()),
+            hdd,
             clock,
             stats: Mutex::new(CacheStats::new()),
         }
@@ -78,8 +84,14 @@ impl SsdOnly {
     /// Creates an SSD-only configuration with the Intel 320 model.
     pub fn new() -> Self {
         let clock = SimClock::new();
+        Self::with_device(SsdDevice::intel_320(clock.clone()), clock)
+    }
+
+    /// Creates an SSD-only configuration over an explicitly constructed
+    /// SSD. The device must share `clock`.
+    pub fn with_device(ssd: SsdDevice, clock: SimClock) -> Self {
         SsdOnly {
-            ssd: SsdDevice::intel_320(clock.clone()),
+            ssd,
             clock,
             stats: Mutex::new(CacheStats::new()),
         }

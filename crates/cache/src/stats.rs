@@ -147,7 +147,10 @@ impl CacheStats {
     /// cache's striped statistics are combined on read.
     pub fn merge(&mut self, other: &CacheStats) {
         for (class, counters) in &other.per_class {
-            self.per_class.entry(class.clone()).or_default().merge(counters);
+            self.per_class
+                .entry(class.clone())
+                .or_default()
+                .merge(counters);
         }
         for (prio, counters) in &other.per_priority {
             self.per_priority.entry(*prio).or_default().merge(counters);

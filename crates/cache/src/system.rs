@@ -27,6 +27,21 @@ pub trait StorageSystem: Send + Sync {
     /// classification; DSS-aware configurations use it for placement.
     fn submit(&self, req: ClassifiedRequest);
 
+    /// Serves a batch of classified requests, in order.
+    ///
+    /// Semantically equivalent to submitting each request via
+    /// [`StorageSystem::submit`]: the resulting cache state and cache-level
+    /// statistics are identical. Implementations may exploit the batch to
+    /// amortise internal lock acquisitions and to merge physically adjacent
+    /// device transfers (fewer, larger physical I/Os for the same logical
+    /// traffic). The default implementation simply loops, which keeps the
+    /// baseline configurations trivially correct.
+    fn submit_batch(&self, reqs: Vec<ClassifiedRequest>) {
+        for req in reqs {
+            self.submit(req);
+        }
+    }
+
     /// Handles a TRIM command for dead LBA ranges.
     fn trim(&self, cmd: &TrimCommand);
 

@@ -180,7 +180,11 @@ mod tests {
         for i in 0..5 {
             rec.submit(req(i, RequestClass::Random, QosPolicy::priority(2)));
         }
-        rec.submit(req(100, RequestClass::Sequential, QosPolicy::NonCachingNonEviction));
+        rec.submit(req(
+            100,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
         let by_class = rec.trace().blocks_by_class();
         assert_eq!(by_class[&RequestClass::Random], 5);
         assert_eq!(by_class[&RequestClass::Sequential], 1);

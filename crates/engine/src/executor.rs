@@ -17,6 +17,16 @@
 //!   own thread with its own executor (and buffer pool) against one shared
 //!   `Arc<dyn StorageSystem>`, with one [`ConcurrencyRegistry`] shared by
 //!   all streams so Rule 5 still governs priority assignment.
+//!
+//! Sequential streams (table scans, temporary-data generation and
+//! consumption) are issued in *vectored batches* of up to
+//! [`ExecutorConfig::io_batch_size`] requests through
+//! [`StorageSystem::submit_batch`], so the storage system sees a scan as the
+//! semantic batch it is — one classification, one shard-lock acquisition per
+//! shard, mergeable device transfers — instead of a stream of independent
+//! submits. Batches are flushed before any random submit, TRIM or query
+//! completion, so the request order reaching storage is identical to
+//! unbatched execution.
 
 use crate::buffer_pool::BufferPool;
 use crate::catalog::Catalog;
@@ -49,6 +59,14 @@ pub struct ExecutorConfig {
     pub temp_blocks_per_request: u64,
     /// Seed for the deterministic random-access generator.
     pub seed: u64,
+    /// Maximum number of sequential-stream requests the executor collects
+    /// into one vectored [`StorageSystem::submit_batch`] call. Sequential
+    /// scans and temporary-data streams vector their run of requests up to
+    /// this size; index/random paths always submit per request. `1`
+    /// disables batching. Because a batch is flushed before any
+    /// non-batchable request (and before TRIM), the request order seen by
+    /// storage is identical to unbatched execution.
+    pub io_batch_size: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -59,6 +77,7 @@ impl Default for ExecutorConfig {
             seq_blocks_per_request: 64,
             temp_blocks_per_request: 32,
             seed: 0x5707ACEDB,
+            io_batch_size: 16,
         }
     }
 }
@@ -80,6 +99,8 @@ pub struct QueryExecutor {
     buffer_pool: BufferPool,
     config: ExecutorConfig,
     rng: SmallRng,
+    /// Sequential-stream requests collected for the next vectored submit.
+    pending: Vec<ClassifiedRequest>,
 }
 
 impl QueryExecutor {
@@ -100,6 +121,7 @@ impl QueryExecutor {
             registry,
             buffer_pool: BufferPool::new(config.buffer_pool_blocks),
             rng: SmallRng::seed_from_u64(config.seed),
+            pending: Vec::with_capacity(config.io_batch_size),
             config,
         }
     }
@@ -149,6 +171,7 @@ impl QueryExecutor {
         for op in &program.ops {
             self.execute_op(op, program.level_bounds, catalog, storage, &mut stats);
         }
+        self.flush_pending(storage);
         self.registry.unregister_query(plan, ticket);
         finalize(&mut stats, io_start, storage);
         stats
@@ -195,6 +218,9 @@ impl QueryExecutor {
                 // hStorage-DB this becomes a TRIM (or the "non-caching and
                 // eviction" scan workaround); legacy systems ignore it.
                 stats.record_request(info.request_class(), range.len);
+                // Pending batched reads/writes must reach storage before
+                // the blocks are invalidated.
+                self.flush_pending(storage);
                 storage.trim(&TrimCommand::single(*range));
                 for block in range.iter() {
                     self.buffer_pool.invalidate(block);
@@ -203,11 +229,10 @@ impl QueryExecutor {
             }
             IoOp::UpdateWrite { info, table_range } => {
                 let block = self.pick(table_range);
-                let policy = self
-                    .policy_table
-                    .assign(info, &self.registry, level_bounds);
+                let policy = self.policy_table.assign(info, &self.registry, level_bounds);
                 let io = IoRequest::write(BlockRange::new(block, 1), false);
                 stats.record_request(info.request_class(), 1);
+                self.flush_pending(storage);
                 storage.submit(ClassifiedRequest::new(io, info.request_class(), policy));
                 self.buffer_pool.invalidate(block);
                 self.charge_cpu(stats, 1);
@@ -252,9 +277,7 @@ impl QueryExecutor {
         is_write: bool,
         sequential: bool,
     ) {
-        let policy = self
-            .policy_table
-            .assign(info, &self.registry, level_bounds);
+        let policy = self.policy_table.assign(info, &self.registry, level_bounds);
         let io = if is_write {
             IoRequest::write(range, sequential)
         } else {
@@ -262,7 +285,34 @@ impl QueryExecutor {
         };
         let class = info.request_class();
         stats.record_request(class, range.len);
-        storage.submit(ClassifiedRequest::new(io, class, policy));
+        let req = ClassifiedRequest::new(io, class, policy);
+        if sequential && self.config.io_batch_size > 1 {
+            // Sequential streams vector their run of requests; the batch is
+            // flushed as soon as it is full or a non-batchable request
+            // needs to preserve ordering.
+            self.pending.push(req);
+            if self.pending.len() >= self.config.io_batch_size {
+                self.flush_pending(storage);
+            }
+        } else {
+            self.flush_pending(storage);
+            storage.submit(req);
+        }
+    }
+
+    /// Submits any batched sequential requests still pending, as one
+    /// vectored [`StorageSystem::submit_batch`] call.
+    ///
+    /// [`Self::run_query`] and the stream drivers flush at every point that
+    /// needs ordering (before random submits, TRIMs, and query completion);
+    /// callers driving [`Self::execute_op`] directly must flush before
+    /// reading storage state or time.
+    pub fn flush_pending(&mut self, storage: &dyn StorageSystem) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        storage.submit_batch(batch);
     }
 
     fn pick(&mut self, range: &BlockRange) -> BlockAddr {
@@ -376,13 +426,16 @@ pub fn run_concurrent(
             for op in &program.ops[*cursor..end] {
                 executor.execute_op(op, program.level_bounds, catalog, storage, stats);
             }
+            // The slice boundary is also the batch boundary: flushing here
+            // keeps the interleaving deterministic (a stream's batched scan
+            // I/O never drifts into another stream's slice) and lets the
+            // completion check below observe a fully up-to-date clock.
+            executor.flush_pending(storage);
             *cursor = end;
 
             if query.cursor >= query.program.ops.len() {
                 let mut done = active[idx].take().expect("query was active");
-                executor
-                    .registry
-                    .unregister_query(&done.plan, done.ticket);
+                executor.registry.unregister_query(&done.plan, done.ticket);
                 finalize(&mut done.stats, done.io_start, storage);
                 completed.push(CompletedQuery {
                     stream: stream.name.clone(),
@@ -477,12 +530,16 @@ mod tests {
     use crate::catalog::ObjectKind;
     use crate::plan::{Access, OperatorKind, PlanNode};
     use hstorage_cache::{HybridCache, StorageConfig, StorageConfigKind};
-    use hstorage_storage::{RequestClass, QosPolicy};
+    use hstorage_storage::{QosPolicy, RequestClass};
 
     fn small_catalog() -> (Catalog, crate::catalog::ObjectId, crate::catalog::ObjectId) {
         let mut cat = Catalog::new();
         let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 2_000));
-        let index = cat.register("idx_orders", ObjectKind::Index, BlockRange::new(2_000u64, 200));
+        let index = cat.register(
+            "idx_orders",
+            ObjectKind::Index,
+            BlockRange::new(2_000u64, 200),
+        );
         cat.set_temp_region(BlockRange::new(50_000u64, 20_000));
         (cat, table, index)
     }
@@ -548,7 +605,11 @@ mod tests {
         let (mut cat, table, index) = small_catalog();
         let mut exec = executor();
         let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
-        let stats = exec.run_query(&random_plan(table, index, 3_000), &mut cat, storage.as_ref());
+        let stats = exec.run_query(
+            &random_plan(table, index, 3_000),
+            &mut cat,
+            storage.as_ref(),
+        );
         assert_eq!(stats.requests(RequestClass::Sequential), 0);
         assert!(stats.blocks(RequestClass::Random) > 0);
         assert!(storage.resident_blocks() > 0);
@@ -560,8 +621,16 @@ mod tests {
         let (mut cat, table, index) = small_catalog();
         let mut exec = executor();
         let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
-        let cold = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_ref());
-        let warm = exec.run_query(&random_plan(table, index, 2_000), &mut cat, storage.as_ref());
+        let cold = exec.run_query(
+            &random_plan(table, index, 2_000),
+            &mut cat,
+            storage.as_ref(),
+        );
+        let warm = exec.run_query(
+            &random_plan(table, index, 2_000),
+            &mut cat,
+            storage.as_ref(),
+        );
         assert!(
             warm.io_time < cold.io_time / 2,
             "warm {:?} vs cold {:?}",
@@ -617,8 +686,16 @@ mod tests {
         // different priorities (Rule 2), which the hybrid cache tracks in
         // its per-priority statistics.
         let (mut cat, table, index) = small_catalog();
-        let other_table = cat.register("supplier", ObjectKind::Table, BlockRange::new(10_000u64, 200));
-        let other_index = cat.register("idx_supplier", ObjectKind::Index, BlockRange::new(10_200u64, 20));
+        let other_table = cat.register(
+            "supplier",
+            ObjectKind::Table,
+            BlockRange::new(10_000u64, 200),
+        );
+        let other_index = cat.register(
+            "idx_supplier",
+            ObjectKind::Index,
+            BlockRange::new(10_200u64, 20),
+        );
         let low = PlanNode::leaf(
             OperatorKind::IndexScan,
             Access::IndexScan {
@@ -650,6 +727,47 @@ mod tests {
         assert!(s.priority(2).accessed_blocks > 0, "priority 2 traffic");
         assert!(s.priority(3).accessed_blocks > 0, "priority 3 traffic");
         let _ = QosPolicy::priority(2);
+    }
+
+    #[test]
+    fn scan_batching_is_equivalent_to_unbatched_execution() {
+        // With the default queue depth (1) the vectored path is not just
+        // statistically but *timing*-identical to per-request submission,
+        // for every op kind including spills (whose TRIM forces a flush).
+        let (cat, table, index) = small_catalog();
+        let spill = PlanTree::new(
+            "spill",
+            PlanNode::leaf(
+                OperatorKind::Hash,
+                Access::TempSpill {
+                    blocks: 256,
+                    read_passes: 1,
+                },
+            ),
+        );
+        let plans = [seq_plan(table), random_plan(table, index, 300), spill];
+
+        let run = |io_batch_size: usize| {
+            let cfg = ExecutorConfig {
+                buffer_pool_blocks: 128,
+                io_batch_size,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = QueryExecutor::new(cfg, PolicyConfig::paper_default());
+            let mut cat = cat.clone();
+            let storage = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000).build();
+            let stats: Vec<QueryStats> = plans
+                .iter()
+                .map(|p| exec.run_query(p, &mut cat, storage.as_ref()))
+                .collect();
+            (stats, storage.stats(), storage.now())
+        };
+
+        let (batched, batched_storage, batched_now) = run(16);
+        let (unbatched, unbatched_storage, unbatched_now) = run(1);
+        assert_eq!(batched, unbatched);
+        assert_eq!(batched_storage, unbatched_storage);
+        assert_eq!(batched_now, unbatched_now);
     }
 
     #[test]
@@ -709,9 +827,10 @@ mod tests {
     #[test]
     fn threaded_driver_completes_all_queries_on_shared_storage() {
         let (cat, table, index) = small_catalog();
-        let storage: Arc<dyn StorageSystem> = StorageConfig::new(StorageConfigKind::HStorageDb, 5_000)
-            .with_shards(8)
-            .build_shared();
+        let storage: Arc<dyn StorageSystem> =
+            StorageConfig::new(StorageConfigKind::HStorageDb, 5_000)
+                .with_shards(8)
+                .build_shared();
         let registry = ConcurrencyRegistry::new();
         let streams = vec![
             StreamSpec {

@@ -220,12 +220,7 @@ impl PlanTree {
     }
 
     fn flatten(&self) -> Vec<FlatNode> {
-        fn walk(
-            node: &PlanNode,
-            depth: u32,
-            parent: Option<usize>,
-            out: &mut Vec<FlatNode>,
-        ) {
+        fn walk(node: &PlanNode, depth: u32, parent: Option<usize>, out: &mut Vec<FlatNode>) {
             let idx = out.len();
             out.push(FlatNode {
                 kind: node.kind,
@@ -366,12 +361,7 @@ impl PlanTree {
         // post-order.
         let eff: Vec<u32> = levels.iter().map(|l| l.effective_level).collect();
         let mut steps = Vec::with_capacity(levels.len());
-        fn walk(
-            node: &PlanNode,
-            counter: &mut usize,
-            eff: &[u32],
-            steps: &mut Vec<ExecStep>,
-        ) {
+        fn walk(node: &PlanNode, counter: &mut usize, eff: &[u32], steps: &mut Vec<ExecStep>) {
             let my_index = *counter;
             *counter += 1;
             for child in &node.children {
@@ -429,11 +419,7 @@ mod tests {
                 passes: 1,
             },
         );
-        let join_l1 = PlanNode::node(
-            OperatorKind::HashJoin,
-            Access::None,
-            vec![idx_a_low, seq_b],
-        );
+        let join_l1 = PlanNode::node(OperatorKind::HashJoin, Access::None, vec![idx_a_low, seq_b]);
         let idx_b = PlanNode::leaf(
             OperatorKind::IndexScan,
             Access::IndexScan {

@@ -64,8 +64,7 @@ impl PolicyAssignmentTable {
             RequestClass::Random => {
                 debug_assert_eq!(info.pattern, AccessPattern::Random);
                 let level = info.level.unwrap_or(query_bounds.0);
-                let prio =
-                    registry.random_priority(&self.config, info.oid, level, query_bounds);
+                let prio = registry.random_priority(&self.config, info.oid, level, query_bounds);
                 QosPolicy::Priority(prio)
             }
         }

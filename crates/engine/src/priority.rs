@@ -29,7 +29,11 @@ pub fn random_request_priority(
     let n1 = config.random_range_high;
     let n2 = config.random_range_low;
     let c_prio = (n2 - n1) as u32;
-    let (llow, lhigh) = if llow <= lhigh { (llow, lhigh) } else { (lhigh, llow) };
+    let (llow, lhigh) = if llow <= lhigh {
+        (llow, lhigh)
+    } else {
+        (lhigh, llow)
+    };
     let l_gap = lhigh - llow;
     let i = level.clamp(llow, lhigh);
 
@@ -69,7 +73,7 @@ mod tests {
     #[test]
     fn wide_range_assigns_one_priority_per_level() {
         let c = cfg(); // Cprio = 4
-        // Lgap = 2 <= Cprio: priority = n1 + (i - llow).
+                       // Lgap = 2 <= Cprio: priority = n1 + (i - llow).
         assert_eq!(random_request_priority(&c, 0, 0, 2), CachePriority(2));
         assert_eq!(random_request_priority(&c, 1, 0, 2), CachePriority(3));
         assert_eq!(random_request_priority(&c, 2, 0, 2), CachePriority(4));
@@ -79,7 +83,7 @@ mod tests {
     fn narrow_range_shares_priorities_between_levels() {
         let mut c = cfg();
         c.random_range_low = 3; // range [2, 3], Cprio = 1
-        // Lgap = 4 > Cprio: p = 2 + floor(1 * (i - 0) / 4).
+                                // Lgap = 4 > Cprio: p = 2 + floor(1 * (i - 0) / 4).
         assert_eq!(random_request_priority(&c, 0, 0, 4), CachePriority(2));
         assert_eq!(random_request_priority(&c, 1, 0, 4), CachePriority(2));
         assert_eq!(random_request_priority(&c, 3, 0, 4), CachePriority(2));

@@ -163,11 +163,7 @@ fn interleave(streams: Vec<Vec<IoOp>>) -> Vec<IoOp> {
 /// actually consumed by the upper part of the plan. Temporary files are
 /// allocated from the catalog's temp region; the corresponding
 /// [`IoOp::TempDelete`] drops them again at execution time.
-pub fn compile(
-    plan: &PlanTree,
-    catalog: &mut Catalog,
-    options: CompileOptions,
-) -> RequestProgram {
+pub fn compile(plan: &PlanTree, catalog: &mut Catalog, options: CompileOptions) -> RequestProgram {
     let level_bounds = plan.random_level_bounds().unwrap_or((0, 0));
     let object_levels = plan.random_object_levels();
     let levels = plan.operator_levels();
@@ -259,7 +255,10 @@ fn compile_step(
                 let mut remaining = range;
                 while !remaining.is_empty() {
                     let (chunk, rest) = remaining.split_at(options.seq_blocks_per_request);
-                    ops.push(IoOp::SequentialRead { info: sem, range: chunk });
+                    ops.push(IoOp::SequentialRead {
+                        info: sem,
+                        range: chunk,
+                    });
                     remaining = rest;
                 }
             }
@@ -362,7 +361,11 @@ mod tests {
     fn setup() -> (Catalog, ObjectId, ObjectId) {
         let mut cat = Catalog::new();
         let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 1000));
-        let index = cat.register("idx_orders", ObjectKind::Index, BlockRange::new(1000u64, 100));
+        let index = cat.register(
+            "idx_orders",
+            ObjectKind::Index,
+            BlockRange::new(1000u64, 100),
+        );
         cat.set_temp_region(BlockRange::new(100_000u64, 10_000));
         (cat, table, index)
     }

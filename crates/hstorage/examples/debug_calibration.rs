@@ -7,5 +7,8 @@ fn main() {
     println!("=== fig5 ===\n{}", fig5::run(scale));
     println!("=== fig6 ===\n{}", fig6::run(scale));
     println!("=== fig9 ===\n{}", fig9::run(scale));
-    println!("=== table9 (0.01) ===\n{}", table9::run(TpchScale::new(0.01)));
+    println!(
+        "=== table9 (0.01) ===\n{}",
+        table9::run(TpchScale::new(0.01))
+    );
 }

@@ -26,6 +26,11 @@ pub struct SystemConfig {
     /// the paper's exact global allocation/eviction; larger values enable
     /// parallel submits for the threaded stream driver.
     pub storage_shards: usize,
+    /// Device queue depth for the batched submission path: how many
+    /// adjacent same-direction requests a device may merge into one
+    /// transfer when the executor submits a scan batch. 1 (the default)
+    /// disables merging — the paper-exact setting.
+    pub storage_queue_depth: usize,
 }
 
 impl SystemConfig {
@@ -48,6 +53,7 @@ impl SystemConfig {
             policy: PolicyConfig::paper_default(),
             executor,
             storage_shards: 1,
+            storage_queue_depth: 1,
         }
     }
 
@@ -68,6 +74,7 @@ impl SystemConfig {
             policy: PolicyConfig::paper_default(),
             executor,
             storage_shards: 1,
+            storage_queue_depth: 1,
         }
     }
 
@@ -90,11 +97,25 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the device queue depth for batched submission.
+    pub fn with_storage_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.storage_queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the executor's scan-batch size (number of sequential
+    /// requests vectored into one `submit_batch` call).
+    pub fn with_io_batch_size(mut self, io_batch_size: usize) -> Self {
+        self.executor.io_batch_size = io_batch_size;
+        self
+    }
+
     /// The storage configuration descriptor implied by this system config.
     pub fn storage_config(&self) -> StorageConfig {
         StorageConfig::new(self.storage_kind, self.cache_blocks)
             .with_policy(self.policy)
             .with_shards(self.storage_shards)
+            .with_queue_depth(self.storage_queue_depth)
     }
 }
 
@@ -131,5 +152,8 @@ mod tests {
         assert_eq!(cfg.storage_config().cache_capacity_blocks, 123);
         let sharded = cfg.with_storage_shards(8);
         assert_eq!(sharded.storage_config().shards, 8);
+        let batched = sharded.with_storage_queue_depth(32).with_io_batch_size(64);
+        assert_eq!(batched.storage_config().queue_depth, 32);
+        assert_eq!(batched.executor.io_batch_size, 64);
     }
 }

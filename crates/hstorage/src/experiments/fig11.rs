@@ -113,7 +113,11 @@ impl fmt::Display for PowerTestReport {
         for run in &self.runs {
             headers.push(run.config.as_str());
         }
-        let n_queries = self.runs.first().map(|r| r.per_query_seconds.len()).unwrap_or(0);
+        let n_queries = self
+            .runs
+            .first()
+            .map(|r| r.per_query_seconds.len())
+            .unwrap_or(0);
         let mut rows = Vec::new();
         for i in 0..n_queries {
             let mut row = vec![self.runs[0].per_query_seconds[i].0.clone()];
@@ -123,7 +127,10 @@ impl fmt::Display for PowerTestReport {
             rows.push(row);
         }
         write!(f, "{}", format_table(&headers, &rows))?;
-        writeln!(f, "\nTable 8 — total execution time of the sequence (seconds)")?;
+        writeln!(
+            f,
+            "\nTable 8 — total execution time of the sequence (seconds)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .table8()
             .into_iter()

@@ -36,8 +36,10 @@ pub struct Fig4Report {
 pub fn run(scale: TpchScale) -> Fig4Report {
     let mut rows = Vec::new();
     for query in QueryId::all_queries() {
-        let mut system =
-            TpchSystem::new(SystemConfig::single_query(scale, StorageConfigKind::HStorageDb));
+        let mut system = TpchSystem::new(SystemConfig::single_query(
+            scale,
+            StorageConfigKind::HStorageDb,
+        ));
         let stats = system.run(query);
         let mut request_fraction = BTreeMap::new();
         let mut block_fraction = BTreeMap::new();
@@ -91,9 +93,17 @@ impl fmt::Display for Fig4Report {
         };
 
         writeln!(f, "Figure 4a — percentage of each type of requests")?;
-        write!(f, "{}", format_table(&headers, &render(&|r| &r.request_fraction)))?;
+        write!(
+            f,
+            "{}",
+            format_table(&headers, &render(&|r| &r.request_fraction))
+        )?;
         writeln!(f, "\nFigure 4b — percentage of each type of disk blocks")?;
-        write!(f, "{}", format_table(&headers, &render(&|r| &r.block_fraction)))
+        write!(
+            f,
+            "{}",
+            format_table(&headers, &render(&|r| &r.block_fraction))
+        )
     }
 }
 
@@ -118,12 +128,18 @@ mod tests {
         // Q1, Q5, Q11, Q19 are dominated by sequential requests.
         let seq_dominated = report.dominated_by(RequestClass::Sequential, 0.8);
         for q in ["Q1", "Q5", "Q11", "Q19"] {
-            assert!(seq_dominated.contains(&q.to_string()), "{q} not sequential-dominated");
+            assert!(
+                seq_dominated.contains(&q.to_string()),
+                "{q} not sequential-dominated"
+            );
         }
         // Q9 and Q21 have a significant amount of random requests.
         for q in ["Q9", "Q21"] {
             let row = report.query(q).unwrap();
-            assert!(row.block_fraction["random"] > 0.2, "{q} lacks random traffic");
+            assert!(
+                row.block_fraction["random"] > 0.2,
+                "{q} lacks random traffic"
+            );
         }
         // Q18 generates a large number of temporary data requests.
         let q18 = report.query("Q18").unwrap();

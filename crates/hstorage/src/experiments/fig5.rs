@@ -88,14 +88,30 @@ impl SequentialQueriesReport {
 
 impl fmt::Display for SequentialQueriesReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 5 — execution times of sequential-dominated queries")?;
+        writeln!(
+            f,
+            "Figure 5 — execution times of sequential-dominated queries"
+        )?;
         let rows: Vec<Vec<String>> = self
             .times
             .iter()
-            .map(|r| vec![r.query.clone(), r.config.clone(), format!("{:.3}", r.seconds)])
+            .map(|r| {
+                vec![
+                    r.query.clone(),
+                    r.config.clone(),
+                    format!("{:.3}", r.seconds),
+                ]
+            })
             .collect();
-        write!(f, "{}", format_table(&["query", "config", "seconds"], &rows))?;
-        writeln!(f, "\nTable 4 — cache statistics for sequential requests with LRU")?;
+        write!(
+            f,
+            "{}",
+            format_table(&["query", "config", "seconds"], &rows)
+        )?;
+        writeln!(
+            f,
+            "\nTable 4 — cache statistics for sequential requests with LRU"
+        )?;
         let rows: Vec<Vec<String>> = self
             .table4
             .iter()
@@ -111,7 +127,10 @@ impl fmt::Display for SequentialQueriesReport {
         write!(
             f,
             "{}",
-            format_table(&["query", "# of accessed blocks", "# of hits", "hit ratio"], &rows)
+            format_table(
+                &["query", "# of accessed blocks", "# of hits", "hit ratio"],
+                &rows
+            )
         )
     }
 }

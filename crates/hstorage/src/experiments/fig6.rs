@@ -144,7 +144,13 @@ fn stats_table(rows: &[PriorityStatsRow]) -> String {
         })
         .collect();
     format_table(
-        &["config", "group", "# of accessed blks", "cache hits", "hit ratio"],
+        &[
+            "config",
+            "group",
+            "# of accessed blks",
+            "cache hits",
+            "hit ratio",
+        ],
         &body,
     )
 }
@@ -155,10 +161,23 @@ impl fmt::Display for RandomQueriesReport {
         let rows: Vec<Vec<String>> = self
             .times
             .iter()
-            .map(|r| vec![r.query.clone(), r.config.clone(), format!("{:.3}", r.seconds)])
+            .map(|r| {
+                vec![
+                    r.query.clone(),
+                    r.config.clone(),
+                    format!("{:.3}", r.seconds),
+                ]
+            })
             .collect();
-        write!(f, "{}", format_table(&["query", "config", "seconds"], &rows))?;
-        writeln!(f, "\nTable 5 — cache statistics for random requests of Q9 (hStorage-DB)")?;
+        write!(
+            f,
+            "{}",
+            format_table(&["query", "config", "seconds"], &rows)
+        )?;
+        writeln!(
+            f,
+            "\nTable 5 — cache statistics for random requests of Q9 (hStorage-DB)"
+        )?;
         write!(f, "{}", stats_table(&self.table5))?;
         writeln!(f, "\nTable 6 — cache hits/misses for Q21")?;
         write!(f, "{}", stats_table(&self.table6))
@@ -192,8 +211,7 @@ mod tests {
     #[test]
     fn q21_lru_benefits_from_cached_sequential_blocks() {
         let report = run(test_scale());
-        let lru_seq =
-            RandomQueriesReport::hit_ratio(&report.table6, "LRU", "sequential").unwrap();
+        let lru_seq = RandomQueriesReport::hit_ratio(&report.table6, "LRU", "sequential").unwrap();
         let h_seq =
             RandomQueriesReport::hit_ratio(&report.table6, "hStorage-DB", "sequential").unwrap();
         // LRU caches the sequential lineitem blocks, hStorage-DB does not.

@@ -126,7 +126,16 @@ impl fmt::Display for TempDataReport {
         write!(
             f,
             "{}",
-            format_table(&["config", "group", "# of accessed blks", "cache hits", "hit ratio"], &rows)
+            format_table(
+                &[
+                    "config",
+                    "group",
+                    "# of accessed blks",
+                    "cache hits",
+                    "hit ratio"
+                ],
+                &rows
+            )
         )
     }
 }

@@ -82,11 +82,8 @@ mod tests {
 
     #[test]
     fn run_single_query_returns_consistent_stats() {
-        let (qstats, cstats) = run_single_query(
-            test_scale(),
-            StorageConfigKind::HStorageDb,
-            QueryId::Q(1),
-        );
+        let (qstats, cstats) =
+            run_single_query(test_scale(), StorageConfigKind::HStorageDb, QueryId::Q(1));
         assert!(qstats.total_blocks() > 0);
         assert_eq!(cstats.totals().accessed_blocks, qstats.total_blocks());
     }

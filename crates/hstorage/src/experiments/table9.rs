@@ -10,7 +10,9 @@
 use crate::report::format_table;
 use crate::{SystemConfig, TpchSystem};
 use hstorage_cache::StorageConfigKind;
-use hstorage_tpch::throughput::{query_stream, throughput_metric, update_stream, PAPER_QUERY_STREAMS};
+use hstorage_tpch::throughput::{
+    query_stream, throughput_metric, update_stream, PAPER_QUERY_STREAMS,
+};
 use hstorage_tpch::{QueryId, TpchScale};
 use std::fmt;
 
@@ -62,7 +64,10 @@ pub fn run(scale: TpchScale) -> ThroughputReport {
         let mut streams: Vec<(String, Vec<QueryId>)> = (0..PAPER_QUERY_STREAMS)
             .map(|i| (format!("query-stream-{}", i + 1), query_stream(i)))
             .collect();
-        streams.push(("update-stream".to_string(), update_stream(PAPER_QUERY_STREAMS)));
+        streams.push((
+            "update-stream".to_string(),
+            update_stream(PAPER_QUERY_STREAMS),
+        ));
         let completed = system.run_streams(&streams, 64);
         let elapsed_seconds = system.storage_time().as_secs_f64();
         let throughput = throughput_metric(PAPER_QUERY_STREAMS, elapsed_seconds);
@@ -83,7 +88,10 @@ pub fn run(scale: TpchScale) -> ThroughputReport {
         let q18_avg_seconds = avg("Q18");
 
         // Standalone runs for Figure 12a, at the same (throughput) scale.
-        for (query, concurrent) in [(QueryId::Q(9), q9_avg_seconds), (QueryId::Q(18), q18_avg_seconds)] {
+        for (query, concurrent) in [
+            (QueryId::Q(9), q9_avg_seconds),
+            (QueryId::Q(18), q18_avg_seconds),
+        ] {
             let mut solo = TpchSystem::new(SystemConfig::throughput(scale, kind));
             let stats = solo.run(query);
             fig12.push(Fig12Row {
@@ -139,9 +147,15 @@ impl fmt::Display for ThroughputReport {
         write!(
             f,
             "{}",
-            format_table(&["config", "throughput (queries/hour)", "elapsed (s)"], &rows)
+            format_table(
+                &["config", "throughput (queries/hour)", "elapsed (s)"],
+                &rows
+            )
         )?;
-        writeln!(f, "\nFigure 12 — Q9/Q18 standalone vs throughput-test average (seconds)")?;
+        writeln!(
+            f,
+            "\nFigure 12 — Q9/Q18 standalone vs throughput-test average (seconds)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .fig12
             .iter()
@@ -157,7 +171,10 @@ impl fmt::Display for ThroughputReport {
         write!(
             f,
             "{}",
-            format_table(&["query", "config", "standalone", "in throughput test"], &rows)
+            format_table(
+                &["query", "config", "standalone", "in throughput test"],
+                &rows
+            )
         )
     }
 }

@@ -15,7 +15,9 @@ use std::fmt;
 pub const BLOCK_SIZE: usize = 8 * 1024;
 
 /// A logical block number in the storage address space exposed to the DBMS.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {

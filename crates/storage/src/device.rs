@@ -41,11 +41,65 @@ pub trait StorageDevice: Send + Sync {
     /// clock, updates statistics, and returns the service time.
     fn serve(&self, req: &IoRequest) -> Duration;
 
+    /// Serves a queue of requests, returning the total service time.
+    ///
+    /// The default implementation serves each request individually. Device
+    /// models with a command queue override this to merge physically
+    /// adjacent same-direction requests into one transfer — the per-request
+    /// setup cost (command overhead, and positioning on the HDD) is then
+    /// paid once per merged transfer while the per-block transfer cost is
+    /// retained. How many requests may merge into one transfer is bounded
+    /// by the device's queue-depth parameter.
+    fn serve_batch(&self, reqs: &[IoRequest]) -> Duration {
+        reqs.iter().map(|r| self.serve(r)).sum()
+    }
+
     /// Snapshot of the device statistics.
     fn stats(&self) -> DeviceStats;
 
     /// Clears statistics (does not reset mechanical state).
     fn reset_stats(&self);
+}
+
+/// Coalesces a queue of requests into merged transfers and serves each via
+/// `serve`, returning the total service time.
+///
+/// Consecutive requests merge while they have the same direction and
+/// sequential flag, are physically adjacent (`prev.range.end() ==
+/// next.range.start`) and fewer than `queue_depth` original requests have
+/// been folded into the pending transfer. `queue_depth <= 1` disables
+/// merging, making the batch equivalent to serving each request alone.
+pub(crate) fn serve_merged(
+    reqs: &[IoRequest],
+    queue_depth: usize,
+    mut serve: impl FnMut(&IoRequest) -> Duration,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut pending: Option<(IoRequest, usize)> = None;
+    for req in reqs {
+        match pending.as_mut() {
+            Some((merged, count))
+                if queue_depth > 1
+                    && *count < queue_depth
+                    && merged.direction == req.direction
+                    && merged.sequential == req.sequential
+                    && merged.range.end() == req.range.start =>
+            {
+                merged.range.len += req.range.len;
+                *count += 1;
+            }
+            _ => {
+                if let Some((merged, _)) = pending.take() {
+                    total += serve(&merged);
+                }
+                pending = Some((*req, 1));
+            }
+        }
+    }
+    if let Some((merged, _)) = pending.take() {
+        total += serve(&merged);
+    }
+    total
 }
 
 /// Records a served request into `stats`.

@@ -34,6 +34,11 @@ pub struct HddParameters {
     pub avg_rotational_latency: Duration,
     /// Fixed per-request controller/command overhead.
     pub command_overhead: Duration,
+    /// Maximum number of adjacent queued requests merged into one transfer
+    /// by [`StorageDevice::serve_batch`]. Merging pays the positioning and
+    /// command cost once per transfer instead of once per request. `1` (the
+    /// default) disables merging.
+    pub queue_depth: usize,
 }
 
 impl HddParameters {
@@ -48,7 +53,14 @@ impl HddParameters {
             avg_seek: Duration::from_micros(3_400),
             avg_rotational_latency: Duration::from_micros(2_000),
             command_overhead: Duration::from_micros(50),
+            queue_depth: 1,
         }
+    }
+
+    /// Overrides the batched-service queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
     }
 }
 
@@ -141,6 +153,10 @@ impl StorageDevice for HddDevice {
         t
     }
 
+    fn serve_batch(&self, reqs: &[IoRequest]) -> Duration {
+        crate::device::serve_merged(reqs, self.params.queue_depth, |r| self.serve(r))
+    }
+
     fn stats(&self) -> DeviceStats {
         self.state.lock().stats.clone()
     }
@@ -178,7 +194,10 @@ mod tests {
         let blocks_per_req = (1 << 20) / BLOCK_SIZE as u64;
         let mut addr = 0u64;
         for _ in 0..128 {
-            d.serve(&IoRequest::read(BlockRange::new(addr, blocks_per_req), true));
+            d.serve(&IoRequest::read(
+                BlockRange::new(addr, blocks_per_req),
+                true,
+            ));
             addr += blocks_per_req;
         }
         let secs = d.stats().busy_time.as_secs_f64();
@@ -202,6 +221,41 @@ mod tests {
         let iops = 100.0 / d.stats().busy_time.as_secs_f64();
         // 15K RPM disks do roughly 150-250 random IOPS.
         assert!(iops > 100.0 && iops < 300.0, "iops = {iops}");
+    }
+
+    #[test]
+    fn batched_adjacent_reads_pay_positioning_once() {
+        let merged = HddDevice::new(
+            HddParameters::cheetah_15k7().with_queue_depth(8),
+            SimClock::new(),
+        );
+        let unmerged = hdd();
+        let reqs: Vec<IoRequest> = (0..8u64)
+            .map(|i| IoRequest::read(BlockRange::new(1_000 + i, 1), false))
+            .collect();
+        let t_merged = merged.serve_batch(&reqs);
+        let t_unmerged = unmerged.serve_batch(&reqs);
+        // One positioning + one command overhead instead of eight of each;
+        // the media transfer time (8 blocks) is identical.
+        assert_eq!(merged.stats().read_requests, 1);
+        assert_eq!(merged.stats().blocks_read, 8);
+        assert_eq!(unmerged.stats().read_requests, 8);
+        let saved = 7
+            * (merged.params().avg_seek
+                + merged.params().avg_rotational_latency
+                + merged.params().command_overhead);
+        // Transfer time is rounded to nanoseconds per serve, so allow a
+        // sub-microsecond slack between 8 small serves and 1 large one.
+        let expected = t_merged + saved;
+        let delta = if t_unmerged > expected {
+            t_unmerged - expected
+        } else {
+            expected - t_unmerged
+        };
+        assert!(
+            delta < Duration::from_micros(1),
+            "{t_unmerged:?} vs {expected:?}"
+        );
     }
 
     #[test]

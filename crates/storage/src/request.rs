@@ -38,9 +38,7 @@ impl fmt::Display for Direction {
 ///
 /// Classification is performed by the DBMS storage manager from semantic
 /// information; the storage system itself never needs to re-derive it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum RequestClass {
     /// Sequential requests (table scans). Rule 1.
     Sequential,

@@ -175,10 +175,7 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
 
         // Q2: minimum cost supplier — small tables joined under part/partsupp.
         QueryId::Q(2) => aggregate(hash_join(
-            hash_join(
-                seq(db, TpchTable::Partsupp),
-                hash(seq(db, TpchTable::Part)),
-            ),
+            hash_join(seq(db, TpchTable::Partsupp), hash(seq(db, TpchTable::Part))),
             hash(hash_join(
                 seq(db, TpchTable::Supplier),
                 hash(seq(db, TpchTable::Nation)),
@@ -189,7 +186,10 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
         QueryId::Q(3) => sort_spill(
             frac(o, 0.05),
             hash_join(
-                hash_join(seq(db, TpchTable::Lineitem), hash(seq(db, TpchTable::Orders))),
+                hash_join(
+                    seq(db, TpchTable::Lineitem),
+                    hash(seq(db, TpchTable::Orders)),
+                ),
                 hash(seq(db, TpchTable::Customer)),
             ),
         ),
@@ -204,7 +204,10 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
         // feeding hash joins (one of the Fig. 5 sequential-dominated queries).
         QueryId::Q(5) => aggregate(hash_join(
             hash_join(
-                hash_join(seq(db, TpchTable::Lineitem), hash(seq(db, TpchTable::Orders))),
+                hash_join(
+                    seq(db, TpchTable::Lineitem),
+                    hash(seq(db, TpchTable::Orders)),
+                ),
                 hash(seq(db, TpchTable::Customer)),
             ),
             hash(hash_join(
@@ -222,7 +225,10 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
         // Q7: volume shipping — lineitem ⋈ orders ⋈ supplier ⋈ customer.
         QueryId::Q(7) => aggregate(hash_join(
             hash_join(
-                hash_join(seq(db, TpchTable::Lineitem), hash(seq(db, TpchTable::Supplier))),
+                hash_join(
+                    seq(db, TpchTable::Lineitem),
+                    hash(seq(db, TpchTable::Supplier)),
+                ),
                 hash_spill(frac(o, 0.10), 1, seq(db, TpchTable::Orders)),
             ),
             hash(hash_join(
@@ -268,7 +274,10 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
         QueryId::Q(10) => sort_spill(
             frac(c, 0.10),
             hash_join(
-                hash_join(seq(db, TpchTable::Lineitem), hash(seq(db, TpchTable::Orders))),
+                hash_join(
+                    seq(db, TpchTable::Lineitem),
+                    hash(seq(db, TpchTable::Orders)),
+                ),
                 hash(seq(db, TpchTable::Customer)),
             ),
         ),
@@ -276,7 +285,10 @@ pub fn build_plan(query: QueryId, db: &TpchDatabase) -> PlanTree {
         // Q11: important stock identification — partsupp ⋈ supplier ⋈
         // nation. One of the Fig. 5 sequential-dominated queries.
         QueryId::Q(11) => aggregate(hash_join(
-            hash_join(seq(db, TpchTable::Partsupp), hash(seq(db, TpchTable::Supplier))),
+            hash_join(
+                seq(db, TpchTable::Partsupp),
+                hash(seq(db, TpchTable::Supplier)),
+            ),
             hash(seq(db, TpchTable::Nation)),
         )),
 

@@ -9,7 +9,9 @@
 
 use hstorage::{SystemConfig, TpchSystem};
 use hstorage_cache::StorageConfigKind;
-use hstorage_tpch::throughput::{query_stream, throughput_metric, update_stream, PAPER_QUERY_STREAMS};
+use hstorage_tpch::throughput::{
+    query_stream, throughput_metric, update_stream, PAPER_QUERY_STREAMS,
+};
 use hstorage_tpch::{QueryId, TpchScale};
 
 fn main() {

@@ -12,7 +12,11 @@ fn main() {
     // A reduced-scale TPC-H database. The SSD cache and DBMS buffer pool
     // are sized to preserve the paper's cache:data ratios.
     let scale = TpchScale::new(0.05);
-    println!("TPC-H scale factor {:.2} ({} data blocks)\n", scale.scale_factor, scale.total_blocks());
+    println!(
+        "TPC-H scale factor {:.2} ({} data blocks)\n",
+        scale.scale_factor,
+        scale.total_blocks()
+    );
 
     for query in [QueryId::Q(1), QueryId::Q(9)] {
         println!("--- {query} ---");

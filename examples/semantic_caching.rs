@@ -23,7 +23,10 @@ fn main() {
     let stats = system.run(QueryId::Q(21));
     let storage = system.storage_stats();
 
-    println!("Q21 under hStorage-DB ({} blocks requested)\n", stats.total_blocks());
+    println!(
+        "Q21 under hStorage-DB ({} blocks requested)\n",
+        stats.total_blocks()
+    );
     println!("Requests per class (what the storage manager classified):");
     for class in RequestClass::all() {
         let blocks = stats.blocks(class);
@@ -53,7 +56,11 @@ fn main() {
         CacheAction::Eviction,
         CacheAction::Trim,
     ] {
-        println!("  {:<18} {:>10} blocks", format!("{action:?}"), storage.action(action));
+        println!(
+            "  {:<18} {:>10} blocks",
+            format!("{action:?}"),
+            storage.action(action)
+        );
     }
 
     // Now Q18: temporary data is cached at the highest priority during its

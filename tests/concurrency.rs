@@ -57,24 +57,51 @@ fn deterministic_trace() -> Vec<Event> {
     }
     // Multi-block random reads spanning shards.
     for i in 0..50u64 {
-        events.push(read(1_000 + i * 16, 16, RequestClass::Random, QosPolicy::priority(3)));
+        events.push(read(
+            1_000 + i * 16,
+            16,
+            RequestClass::Random,
+            QosPolicy::priority(3),
+        ));
     }
     // A sequential scan over cached and uncached blocks (bypass + hits).
-    events.push(read(0, 600, RequestClass::Sequential, QosPolicy::NonCachingNonEviction));
+    events.push(read(
+        0,
+        600,
+        RequestClass::Sequential,
+        QosPolicy::NonCachingNonEviction,
+    ));
     // Temporary data lifecycle: write, read back, demote, trim.
-    events.push(write(5_000, 200, RequestClass::TemporaryData, QosPolicy::priority(1)));
-    events.push(read(5_000, 200, RequestClass::TemporaryData, QosPolicy::priority(1)));
+    events.push(write(
+        5_000,
+        200,
+        RequestClass::TemporaryData,
+        QosPolicy::priority(1),
+    ));
+    events.push(read(
+        5_000,
+        200,
+        RequestClass::TemporaryData,
+        QosPolicy::priority(1),
+    ));
     events.push(read(
         5_000,
         100,
         RequestClass::TemporaryDataTrim,
         QosPolicy::NonCachingEviction,
     ));
-    events.push(Event::Trim(TrimCommand::single(BlockRange::new(5_000u64, 200))));
+    events.push(Event::Trim(TrimCommand::single(BlockRange::new(
+        5_000u64, 200,
+    ))));
     // Buffered updates: 40 blocks spread evenly over the 8 shard residues,
     // staying below both the global and every per-shard flush threshold.
     for i in 0..40u64 {
-        events.push(write(8_000 + i, 1, RequestClass::Update, QosPolicy::WriteBuffer));
+        events.push(write(
+            8_000 + i,
+            1,
+            RequestClass::Update,
+            QosPolicy::WriteBuffer,
+        ));
     }
     events
 }
@@ -173,10 +200,18 @@ proptest! {
 // Threaded driver vs deterministic slicer vs plain execution
 // ---------------------------------------------------------------------------
 
-fn catalog() -> (Catalog, hstorage_engine::ObjectId, hstorage_engine::ObjectId) {
+fn catalog() -> (
+    Catalog,
+    hstorage_engine::ObjectId,
+    hstorage_engine::ObjectId,
+) {
     let mut cat = Catalog::new();
     let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 2_000));
-    let index = cat.register("idx_orders", ObjectKind::Index, BlockRange::new(2_000u64, 200));
+    let index = cat.register(
+        "idx_orders",
+        ObjectKind::Index,
+        BlockRange::new(2_000u64, 200),
+    );
     cat.set_temp_region(BlockRange::new(50_000u64, 20_000));
     (cat, table, index)
 }
@@ -310,7 +345,11 @@ fn threaded_driver_serves_the_same_blocks_as_the_deterministic_slicer() {
 fn threaded_driver_with_one_stream_matches_run_query_exactly() {
     let (cat, table, index) = catalog();
     let policy = PolicyConfig::paper_default();
-    let plans = vec![random_plan(table, index, 500), spill_plan(), seq_plan(table)];
+    let plans = vec![
+        random_plan(table, index, 500),
+        spill_plan(),
+        seq_plan(table),
+    ];
     let config = ExecutorConfig {
         buffer_pool_blocks: 256,
         ..ExecutorConfig::default()
@@ -372,7 +411,10 @@ fn concurrent_spilling_streams_use_disjoint_temp_blocks() {
 
     let stats = shared.stats();
     // 128 written + 128 read back per stream; all reads served from cache.
-    assert_eq!(stats.class(RequestClass::TemporaryData).accessed_blocks, 512);
+    assert_eq!(
+        stats.class(RequestClass::TemporaryData).accessed_blocks,
+        512
+    );
     assert_eq!(stats.class(RequestClass::TemporaryData).cache_hits, 256);
     // Both lifetimes ended in a TRIM of exactly their own blocks, and no
     // temporary data survives.
@@ -410,8 +452,14 @@ fn concurrent_threads_never_lose_blocks_on_a_shared_cache() {
         }
     });
     let stats = cache.stats();
-    assert_eq!(stats.class(RequestClass::Random).accessed_blocks, 4 * per_thread);
-    assert_eq!(stats.action(hstorage_cache::CacheAction::Trim), 4 * per_thread / 2);
+    assert_eq!(
+        stats.class(RequestClass::Random).accessed_blocks,
+        4 * per_thread
+    );
+    assert_eq!(
+        stats.action(hstorage_cache::CacheAction::Trim),
+        4 * per_thread / 2
+    );
     assert_eq!(cache.resident_blocks(), 4 * per_thread / 2);
     // BlockAddr sanity for the clippy-clean import.
     assert!(cache.contains_block(BlockAddr(per_thread - 1)));

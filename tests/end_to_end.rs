@@ -32,12 +32,18 @@ fn sequential_queries_do_not_pollute_the_hstorage_cache() {
 fn the_same_workload_pollutes_an_lru_cache() {
     let mut system = TpchSystem::new(SystemConfig::single_query(scale(), StorageConfigKind::Lru));
     system.run(QueryId::Q(1));
-    assert!(system.cached_blocks() > 0, "LRU admits sequential scan data");
+    assert!(
+        system.cached_blocks() > 0,
+        "LRU admits sequential scan data"
+    );
 }
 
 #[test]
 fn hstorage_matches_hdd_only_on_sequential_work_and_beats_it_on_random_work() {
-    let mut hdd = TpchSystem::new(SystemConfig::single_query(scale(), StorageConfigKind::HddOnly));
+    let mut hdd = TpchSystem::new(SystemConfig::single_query(
+        scale(),
+        StorageConfigKind::HddOnly,
+    ));
     let mut hst = TpchSystem::new(SystemConfig::single_query(
         scale(),
         StorageConfigKind::HStorageDb,
@@ -105,7 +111,10 @@ fn refresh_functions_are_absorbed_by_the_write_buffer() {
     let storage = system.storage_stats();
     assert!(storage.action(CacheAction::WriteAllocation) > 0);
     // Updates never bypass straight to the HDD under hStorage-DB.
-    assert_eq!(storage.class(RequestClass::Update).accessed_blocks, stats.blocks(RequestClass::Update));
+    assert_eq!(
+        storage.class(RequestClass::Update).accessed_blocks,
+        stats.blocks(RequestClass::Update)
+    );
 }
 
 #[test]
