@@ -1,20 +1,23 @@
 //! CI performance-regression gate.
 //!
 //! Runs a quick submit-throughput workload (shared with the
-//! `batch_throughput` bench via `hstorage_bench::workload`), writes the
-//! measurements to `BENCH_report.json` as machine-readable
-//! `PaperComparison`-style rows, compares them against the committed
-//! `BENCH_baseline.json`, and exits non-zero if any *gated* metric
-//! regressed by more than 25% — or if batched submission is not strictly
-//! faster than per-request submission (the vectored-path acceptance
-//! criterion).
+//! `batch_throughput` and `policy_sweep` benches via
+//! `hstorage_bench::workload`), writes the measurements to
+//! `BENCH_report.json` as machine-readable `PaperComparison`-style rows,
+//! compares them against the committed `BENCH_baseline.json`, and exits
+//! non-zero if any *gated* metric regressed by more than 25% — or if
+//! batched submission is not strictly faster than per-request submission
+//! (the vectored-path acceptance criterion).
 //!
 //! All row values are oriented so that **higher is better** (throughputs
 //! and speedup ratios). Not every row is gated:
 //!
 //! * `sim:` rows are measured in *simulated* device time, which is
 //!   deterministic — identical on every machine — so any drift is a real
-//!   behaviour change in the storage model or batching pipeline. Gated.
+//!   behaviour change in the storage model, the batching pipeline or a
+//!   cache policy. Gated. This includes one mixed-workload row per
+//!   selectable cache policy, so a silent change to any replacement
+//!   algorithm fails the gate.
 //! * The wall-clock *speedup ratio* is machine-robust (both sides run on
 //!   the same machine in the same process). Gated.
 //! * Absolute wall-clock throughputs vary with the runner's hardware, so
@@ -27,28 +30,37 @@
 //! silently guard nothing.
 //!
 //! Usage:
-//!   bench_gate [--baseline <path>] [--report <path>] [--write-baseline]
+//! `bench_gate [--baseline <path>] [--report <path>]
+//! [--write-baseline | --update-baseline]`
 //!
-//! `--write-baseline` records the current measurements as the new baseline
-//! (use after an intentional performance change) instead of gating.
+//! `--update-baseline` regenerates the baseline **deterministically**:
+//! `sim:` rows take the freshly measured (machine-independent) values and
+//! machine-dependent rows keep their committed values, so a baseline bump
+//! produces the same file on any machine — no more hand-editing. Only new
+//! machine-dependent rows fall back to this machine's measurement.
+//! `--write-baseline` snapshots *every* row as measured here (first-time
+//! setup, or after an intentional wall-clock performance change).
 
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
-    drive, fresh_cache, random_read, scan_read, QUEUE_DEPTH, TOTAL_SUBMITS,
+    drive, fresh_cache, fresh_policy_cache, mixed_request, random_read, scan_read, QUEUE_DEPTH,
+    TOTAL_SUBMITS,
 };
-use hstorage_cache::StorageSystem;
+use hstorage_cache::{CachePolicyKind, StorageSystem};
 use std::time::Instant;
 
 const WALL_RUNS: usize = 5;
 /// A gated metric fails when it drops below this fraction of the baseline.
 const REGRESSION_FLOOR: f64 = 0.75;
 
-/// One gate metric: value measured this run, and whether the 25% baseline
-/// comparison applies to it.
+/// One gate metric: value measured this run, whether the 25% baseline
+/// comparison applies to it, and whether the measurement is deterministic
+/// (simulated time — identical on every machine).
 struct Measurement {
-    metric: &'static str,
+    metric: String,
     value: f64,
     gated: bool,
+    deterministic: bool,
 }
 
 /// Median wall-clock submits/second over [`WALL_RUNS`] fresh-cache runs of
@@ -84,24 +96,40 @@ fn sim_random_seconds() -> f64 {
     cache.now().as_secs_f64()
 }
 
+/// Deterministic simulated seconds for the mixed workload under one cache
+/// policy — guards each replacement algorithm's admission/eviction
+/// behaviour bit-for-bit.
+fn sim_policy_seconds(kind: CachePolicyKind) -> f64 {
+    let cache = fresh_policy_cache(kind, QUEUE_DEPTH);
+    drive(&cache, 64, mixed_request);
+    cache.now().as_secs_f64()
+}
+
 fn main() {
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut report_path = "BENCH_report.json".to_string();
     let mut write_baseline = false;
+    let mut update_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--report" => report_path = args.next().expect("--report needs a path"),
             "--write-baseline" => write_baseline = true,
+            "--update-baseline" => update_baseline = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_gate [--baseline <path>] [--report <path>] [--write-baseline]"
+                    "usage: bench_gate [--baseline <path>] [--report <path>] \
+                     [--write-baseline | --update-baseline]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if write_baseline && update_baseline {
+        eprintln!("bench_gate: --write-baseline and --update-baseline are mutually exclusive");
+        std::process::exit(2);
     }
 
     println!("bench_gate: quick submit-throughput workload ({TOTAL_SUBMITS} submits per run)");
@@ -110,43 +138,87 @@ fn main() {
     let sim_unbatched = sim_scan_seconds(1);
     let sim_batched = sim_scan_seconds(QUEUE_DEPTH);
     let sim_random = sim_random_seconds();
-    let measurements = [
+    let mut measurements = vec![
         Measurement {
-            metric: "wall: scan single-submit throughput (submits/s)",
+            metric: "wall: scan single-submit throughput (submits/s)".into(),
             value: wall_single,
             gated: false,
+            deterministic: false,
         },
         Measurement {
-            metric: "wall: scan batch=64 submit throughput (submits/s)",
+            metric: "wall: scan batch=64 submit throughput (submits/s)".into(),
             value: wall_batch64,
             gated: false,
+            deterministic: false,
         },
         Measurement {
-            metric: "wall: scan batch=64 speedup over single submit (x)",
+            metric: "wall: scan batch=64 speedup over single submit (x)".into(),
             value: wall_batch64 / wall_single,
             gated: true,
+            deterministic: false,
         },
         Measurement {
-            metric: "sim: scan device throughput at queue depth 32 (submits/sim-s)",
+            metric: "sim: scan device throughput at queue depth 32 (submits/sim-s)".into(),
             value: TOTAL_SUBMITS as f64 / sim_batched,
             gated: true,
+            deterministic: true,
         },
         Measurement {
-            metric: "sim: scan queue-merge device-time speedup at depth 32 (x)",
+            metric: "sim: scan queue-merge device-time speedup at depth 32 (x)".into(),
             value: sim_unbatched / sim_batched,
             gated: true,
+            deterministic: true,
         },
         Measurement {
-            metric: "sim: random workload device throughput (submits/sim-s)",
+            metric: "sim: random workload device throughput (submits/sim-s)".into(),
             value: TOTAL_SUBMITS as f64 / sim_random,
             gated: true,
+            deterministic: true,
         },
     ];
+    for kind in CachePolicyKind::all() {
+        measurements.push(Measurement {
+            metric: format!(
+                "sim: {} policy mixed-workload device throughput (submits/sim-s)",
+                kind.label()
+            ),
+            value: TOTAL_SUBMITS as f64 / sim_policy_seconds(kind),
+            gated: true,
+            deterministic: true,
+        });
+    }
 
-    if write_baseline {
+    if write_baseline || update_baseline {
+        // --update-baseline keeps the committed values of
+        // machine-dependent rows so the regenerated file is deterministic;
+        // --write-baseline snapshots everything as measured here.
+        let old = if update_baseline {
+            std::fs::read_to_string(&baseline_path)
+                .ok()
+                .and_then(|text| comparisons_from_json(&text).ok())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         let rows: Vec<PaperComparison> = measurements
             .iter()
-            .map(|m| PaperComparison::new(m.metric, m.value, m.value))
+            .map(|m| {
+                let preserved = if m.deterministic {
+                    None
+                } else {
+                    old.iter()
+                        .find(|r| r.metric == m.metric)
+                        .map(|r| r.measured)
+                };
+                if update_baseline {
+                    match preserved {
+                        Some(v) => println!("  preserved  {} = {v:.3}", m.metric),
+                        None => println!("  measured   {} = {:.3}", m.metric, m.value),
+                    }
+                }
+                let value = preserved.unwrap_or(m.value);
+                PaperComparison::new(m.metric.clone(), value, value)
+            })
             .collect();
         std::fs::write(&baseline_path, comparisons_to_json(&rows)).unwrap_or_else(|e| {
             eprintln!("bench_gate: cannot write {baseline_path}: {e}");
@@ -192,14 +264,14 @@ fn main() {
     let report: Vec<PaperComparison> = measurements
         .iter()
         .map(|m| {
-            let base = baseline_value(m.metric);
+            let base = baseline_value(&m.metric);
             if m.gated && base.is_none() {
                 failures.push(format!(
-                    "{}: no row in {baseline_path} — refresh it with --write-baseline",
+                    "{}: no row in {baseline_path} — refresh it with --update-baseline",
                     m.metric
                 ));
             }
-            PaperComparison::new(m.metric, base.unwrap_or(m.value), m.value)
+            PaperComparison::new(m.metric.clone(), base.unwrap_or(m.value), m.value)
         })
         .collect();
     for stale in baseline

@@ -32,7 +32,7 @@ pub fn report_concurrency_scale() -> TpchScale {
 /// inspects a regression the gate reports — so the request shapes, cache
 /// construction and drive loop live here, once.
 pub mod workload {
-    use hstorage_cache::{HybridCache, StorageSystem};
+    use hstorage_cache::{CachePolicyKind, HybridCache, StorageSystem};
     use hstorage_storage::{
         BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass,
     };
@@ -66,14 +66,78 @@ pub mod workload {
         )
     }
 
+    /// Deterministic address scatter (multiplicative hashing), so each
+    /// request class spreads over every shard instead of correlating with
+    /// `i % 8`, and re-reference distances vary enough that replacement
+    /// policies actually diverge.
+    fn mix(i: u64) -> u64 {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33
+    }
+
+    /// A deterministic blend of all four request shapes — a re-referenced
+    /// hot random set (reuse the policies can protect), one-shot cold
+    /// random reads and fresh sequential scan traffic (pollution
+    /// pressure), buffered updates over a write-hot region and
+    /// temporary-data writes — the workload the cache-policy sweep runs,
+    /// because replacement policies only diverge when admission, eviction
+    /// and reuse all happen.
+    pub fn mixed_request(i: u64) -> ClassifiedRequest {
+        match i % 8 {
+            // Hot random reads over half the cache capacity.
+            0 | 1 => ClassifiedRequest::new(
+                IoRequest::read(BlockRange::new(mix(i) % (BLOCKS / 2), 1), false),
+                RequestClass::Random,
+                QosPolicy::priority(2 + (i % 5) as u8),
+            ),
+            // Cold random reads: mostly one-shot pollution.
+            2 | 3 => ClassifiedRequest::new(
+                IoRequest::read(BlockRange::new(10_000 + mix(i + 7_919) % 50_000, 1), false),
+                RequestClass::Random,
+                QosPolicy::priority(2 + (i % 5) as u8),
+            ),
+            // A fresh table scan: 4-block adjacent sequential transfers
+            // covering every shard (and mergeable on the device).
+            4 | 5 => ClassifiedRequest::new(
+                IoRequest::read(
+                    BlockRange::new(100_000 + (i / 8) * 8 + if i % 8 == 5 { 4 } else { 0 }, 4),
+                    true,
+                ),
+                RequestClass::Sequential,
+                QosPolicy::NonCachingNonEviction,
+            ),
+            // Buffered updates over a small write-hot region (dirty
+            // blocks the write-aware policies treat differently).
+            6 => ClassifiedRequest::new(
+                IoRequest::write(BlockRange::new(mix(i ^ 0xABCD) % (BLOCKS / 4), 1), false),
+                RequestClass::Update,
+                QosPolicy::WriteBuffer,
+            ),
+            // Temporary-data writes, mostly one-shot and dirty.
+            _ => ClassifiedRequest::new(
+                IoRequest::write(
+                    BlockRange::new(50_000 + mix(i + 31) % (BLOCKS / 2), 1),
+                    false,
+                ),
+                RequestClass::TemporaryData,
+                QosPolicy::priority(1),
+            ),
+        }
+    }
+
     /// A fresh sharded hybrid cache at the given device queue depth.
     pub fn fresh_cache(queue_depth: usize) -> HybridCache {
+        fresh_policy_cache(CachePolicyKind::SemanticPriority, queue_depth)
+    }
+
+    /// A fresh sharded cache engine running the given replacement policy.
+    pub fn fresh_policy_cache(kind: CachePolicyKind, queue_depth: usize) -> HybridCache {
         HybridCache::with_shard_count_and_queue_depth(
             PolicyConfig::paper_default(),
             BLOCKS,
             SHARDS,
             queue_depth,
         )
+        .with_cache_policy(kind)
     }
 
     /// Drives [`TOTAL_SUBMITS`] requests of the given shape through `cache`

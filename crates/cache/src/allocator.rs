@@ -113,4 +113,77 @@ mod tests {
         let mut a = SlotAllocator::new(10);
         a.release(0);
     }
+
+    #[test]
+    fn zero_capacity_allocator_is_always_exhausted() {
+        let mut a = SlotAllocator::new(0);
+        assert_eq!(a.capacity(), 0);
+        assert!(a.is_full());
+        assert_eq!(a.available(), 0);
+        assert_eq!(a.allocate(), None);
+        // Still exhausted after the failed attempt — no state corruption.
+        assert_eq!(a.allocate(), None);
+        assert_eq!(a.allocated(), 0);
+    }
+
+    #[test]
+    fn exhaustion_then_full_release_makes_every_slot_reusable() {
+        let mut a = SlotAllocator::new(4);
+        let slots: Vec<u64> = (0..4).map(|_| a.allocate().unwrap()).collect();
+        assert!(a.is_full());
+        assert_eq!(a.allocate(), None);
+        for &s in &slots {
+            a.release(s);
+        }
+        assert_eq!(a.allocated(), 0);
+        assert_eq!(a.available(), 4);
+        // Re-allocation hands out exactly the released slots, no fresh
+        // numbers beyond the original capacity.
+        let mut reused: Vec<u64> = (0..4).map(|_| a.allocate().unwrap()).collect();
+        assert_eq!(a.allocate(), None);
+        reused.sort_unstable();
+        assert_eq!(reused, slots);
+    }
+
+    #[test]
+    fn freed_slots_are_preferred_over_fresh_ones() {
+        // Recycling before minting keeps the physical address space dense,
+        // which is what keeps `release`'s range check sound.
+        let mut a = SlotAllocator::new(10);
+        let s0 = a.allocate().unwrap();
+        let _s1 = a.allocate().unwrap();
+        a.release(s0);
+        assert_eq!(a.allocate(), Some(s0), "freed slot reused before fresh");
+        assert_eq!(a.allocate(), Some(2), "then the next fresh slot");
+    }
+
+    #[test]
+    fn interleaved_churn_never_exceeds_capacity_or_duplicates_slots() {
+        let mut a = SlotAllocator::new(8);
+        let mut live: Vec<u64> = Vec::new();
+        for round in 0u64..100 {
+            // Allocate until full, then free a varying subset.
+            while let Some(pbn) = a.allocate() {
+                assert!(pbn < a.capacity(), "slot {pbn} out of range");
+                assert!(!live.contains(&pbn), "slot {pbn} double-allocated");
+                live.push(pbn);
+            }
+            assert!(a.is_full());
+            assert_eq!(live.len() as u64, a.capacity());
+            let keep = (round % 7) as usize;
+            for pbn in live.split_off(keep) {
+                a.release(pbn);
+            }
+            assert_eq!(a.allocated(), live.len() as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn releasing_a_never_minted_slot_panics_even_with_free_slots() {
+        let mut a = SlotAllocator::new(10);
+        a.allocate().unwrap();
+        // Slot 5 was never handed out (only slot 0 was minted).
+        a.release(5);
+    }
 }

@@ -3,6 +3,7 @@
 use crate::hybrid::HybridCache;
 use crate::lru_cache::LruCache;
 use crate::passthrough::{HddOnly, SsdOnly};
+use crate::policy::CachePolicyKind;
 use crate::system::StorageSystem;
 use hstorage_storage::{
     HddDevice, HddParameters, PolicyConfig, SimClock, SsdDevice, SsdParameters,
@@ -79,6 +80,13 @@ pub struct StorageConfig {
     /// which keeps batched submission timing-identical to per-request
     /// submission — the paper-exact setting.
     pub queue_depth: usize,
+    /// Which replacement policy drives the cache engine built for the
+    /// hStorage-DB kind. The default,
+    /// [`CachePolicyKind::SemanticPriority`], is the paper's policy; the
+    /// other kinds run the same engine (shards, write buffer, batched
+    /// submission) behind a classical baseline algorithm. Ignored by the
+    /// passthrough and standalone-LRU kinds.
+    pub cache_policy: CachePolicyKind,
 }
 
 impl StorageConfig {
@@ -90,6 +98,7 @@ impl StorageConfig {
             policy: PolicyConfig::paper_default(),
             shards: 1,
             queue_depth: 1,
+            cache_policy: CachePolicyKind::default(),
         }
     }
 
@@ -111,6 +120,12 @@ impl StorageConfig {
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         assert!(queue_depth > 0, "queue depth must be positive");
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the replacement policy of the hStorage-DB cache engine.
+    pub fn with_cache_policy(mut self, cache_policy: CachePolicyKind) -> Self {
+        self.cache_policy = cache_policy;
         self
     }
 
@@ -138,14 +153,17 @@ impl StorageConfig {
                 hdd(),
                 clock.clone(),
             )),
-            StorageConfigKind::HStorageDb => Box::new(HybridCache::with_devices_sharded(
-                self.policy,
-                self.cache_capacity_blocks,
-                self.shards,
-                ssd(),
-                hdd(),
-                clock.clone(),
-            )),
+            StorageConfigKind::HStorageDb => Box::new(
+                HybridCache::with_devices_sharded(
+                    self.policy,
+                    self.cache_capacity_blocks,
+                    self.shards,
+                    ssd(),
+                    hdd(),
+                    clock.clone(),
+                )
+                .with_cache_policy(self.cache_policy),
+            ),
         }
     }
 
@@ -186,6 +204,24 @@ mod tests {
             .join()
             .unwrap();
         assert_eq!(shared.name(), "hStorage-DB");
+    }
+
+    #[test]
+    fn cache_policy_selection_builds_the_engine_baselines() {
+        for kind in CachePolicyKind::all() {
+            let sys = StorageConfig::new(StorageConfigKind::HStorageDb, 256)
+                .with_cache_policy(kind)
+                .build();
+            assert_eq!(sys.name(), kind.system_name());
+        }
+        // The default configuration still builds the paper's system.
+        let default = StorageConfig::new(StorageConfigKind::HStorageDb, 256).build();
+        assert_eq!(default.name(), "hStorage-DB");
+        // Non-engine kinds ignore the selector.
+        let lru = StorageConfig::new(StorageConfigKind::Lru, 256)
+            .with_cache_policy(CachePolicyKind::TwoQ)
+            .build();
+        assert_eq!(lru.name(), "LRU");
     }
 
     #[test]

@@ -1,0 +1,1119 @@
+//! The policy-agnostic cache engine (mechanism half of the hybrid cache).
+//!
+//! An SSD works as a cache for an HDD. The engine owns everything that is
+//! *mechanism*: lock-striped shards, the physical slot allocator, block
+//! metadata and clean/dirty state, write-buffer occupancy accounting,
+//! statistics, and the per-request / vectored device submission paths.
+//! Every *decision* — admission, victim selection, promotion on hit — is
+//! delegated to a per-shard [`CachePolicy`] instance, so one engine serves
+//! the paper's semantic priority policy and any classical baseline (LRU,
+//! CFLRU, 2Q, or a custom policy) interchangeably.
+//!
+//! The six actions of Section 5.1 (cache hit, read allocation, write
+//! allocation, bypassing, re-allocation, eviction) are all implemented and
+//! counted, as are TRIM-driven invalidations and write-buffer flushes.
+//!
+//! # Concurrency
+//!
+//! The engine is a shared service: [`StorageSystem::submit`] takes `&self`,
+//! so one instance can serve many threads. Internally the block metadata,
+//! per-shard policy state, slot allocator, write buffer and statistics are
+//! partitioned into `N` *shards* keyed by logical block address
+//! (`lbn % N`), each behind its own mutex — submits that touch different
+//! shards proceed in parallel, and statistics are striped per shard and
+//! aggregated on read. Each shard manages an equal slice of the cache
+//! capacity, so allocation and eviction are decided shard-locally. With a
+//! single shard (the default, used by the paper-figure experiments) the
+//! behaviour is block-for-block identical to the original exclusive
+//! implementation; [`CacheEngine::with_shard_count`] enables real
+//! parallelism for the threaded drivers and benches.
+
+use crate::allocator::SlotAllocator;
+use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
+use crate::policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest};
+use crate::stats::{CacheAction, CacheStats};
+use crate::system::StorageSystem;
+use hstorage_storage::{
+    BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, HddParameters,
+    IoRequest, PolicyConfig, SimClock, SsdDevice, SsdParameters, StorageDevice, TrimCommand,
+};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Per-request batch of device traffic, flushed as one I/O per device and
+/// direction so multi-block requests pay one command overhead, like the real
+/// system.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeviceBatch {
+    ssd_read: u64,
+    ssd_write: u64,
+    hdd_read: u64,
+    hdd_write: u64,
+}
+
+/// One lock-striped partition of the cache: the metadata, policy state,
+/// allocator, write-buffer occupancy and statistics for the blocks whose
+/// address hashes to this shard.
+struct Shard {
+    meta: CacheMetadata,
+    policy: Box<dyn CachePolicy>,
+    alloc: SlotAllocator,
+    /// Maximum blocks this shard's slice of the write buffer may hold.
+    write_buffer_limit: u64,
+    /// Blocks currently resident in the write-buffer group.
+    write_buffer_resident: u64,
+    stats: CacheStats,
+}
+
+impl Shard {
+    fn new(config: &PolicyConfig, capacity: u64, policy: Box<dyn CachePolicy>) -> Self {
+        Shard {
+            meta: CacheMetadata::new(),
+            policy,
+            alloc: SlotAllocator::new(capacity),
+            write_buffer_limit: (capacity as f64 * config.write_buffer_fraction).floor() as u64,
+            write_buffer_resident: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Evicts `victim` (already removed from the policy's structures),
+    /// writing it back if dirty.
+    fn evict(&mut self, victim: BlockAddr, batch: &mut DeviceBatch) {
+        let entry = self
+            .meta
+            .remove(victim)
+            .expect("victim tracked by policy but not in metadata");
+        if entry.is_dirty() {
+            batch.hdd_write += 1;
+        }
+        if self.policy.write_buffered(entry.priority) {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        }
+        self.alloc.release(entry.pbn);
+        self.stats.record_action(CacheAction::Eviction, 1);
+    }
+
+    /// Tries to obtain a free cache slot for the request's block, asking
+    /// the policy to displace a resident if the shard is full. Returns the
+    /// physical slot or `None` if the block must bypass the cache.
+    fn try_allocate(&mut self, req: &PolicyRequest, batch: &mut DeviceBatch) -> Option<u64> {
+        if let Some(pbn) = self.alloc.allocate() {
+            return Some(pbn);
+        }
+        let victim = self.policy.pop_victim(req)?;
+        self.evict(victim, batch);
+        self.alloc.allocate()
+    }
+
+    /// Handles one block of a request; returns `true` on a cache hit.
+    fn handle_block(
+        &mut self,
+        lbn: BlockAddr,
+        req: &PolicyRequest,
+        batch: &mut DeviceBatch,
+    ) -> bool {
+        if let Some(entry) = self.meta.get(lbn).copied() {
+            // --- Cache hit ---
+            self.stats.record_action(CacheAction::CacheHit, 1);
+            match self.policy.on_hit(lbn, entry.priority, req) {
+                HitOutcome::Unchanged => {}
+                HitOutcome::Moved(new) => self.apply_move(lbn, entry.priority, new),
+            }
+            match req.direction {
+                Direction::Read => batch.ssd_read += 1,
+                Direction::Write => {
+                    batch.ssd_write += 1;
+                    if let Some(e) = self.meta.get_mut(lbn) {
+                        e.state = BlockState::Dirty;
+                    }
+                }
+            }
+            return true;
+        }
+
+        // --- Cache miss ---
+        if !self.policy.admits(req) {
+            // Bypassing: straight to the second-level device.
+            self.stats.record_action(CacheAction::Bypassing, 1);
+            match req.direction {
+                Direction::Read => batch.hdd_read += 1,
+                Direction::Write => batch.hdd_write += 1,
+            }
+            return false;
+        }
+
+        match self.try_allocate(req, batch) {
+            Some(pbn) => {
+                let state = match req.direction {
+                    Direction::Read => {
+                        // Read allocation: fetch from HDD, place in SSD.
+                        self.stats.record_action(CacheAction::ReadAllocation, 1);
+                        batch.hdd_read += 1;
+                        batch.ssd_write += 1;
+                        BlockState::Clean
+                    }
+                    Direction::Write => {
+                        // Write allocation: place in SSD, mark dirty.
+                        self.stats.record_action(CacheAction::WriteAllocation, 1);
+                        batch.ssd_write += 1;
+                        BlockState::Dirty
+                    }
+                };
+                let group = self.policy.on_insert(lbn, req);
+                self.meta.insert(
+                    lbn,
+                    CacheEntry {
+                        pbn,
+                        priority: group,
+                        state,
+                    },
+                );
+                if self.policy.write_buffered(group) {
+                    self.write_buffer_resident += 1;
+                }
+            }
+            None => {
+                // Not cache-worthy relative to current residents: bypass.
+                self.stats.record_action(CacheAction::Bypassing, 1);
+                match req.direction {
+                    Direction::Read => batch.hdd_read += 1,
+                    Direction::Write => batch.hdd_write += 1,
+                }
+            }
+        }
+        false
+    }
+
+    /// Mirrors a policy-initiated group move in the metadata, write-buffer
+    /// accounting and statistics.
+    fn apply_move(&mut self, lbn: BlockAddr, old: CachePriority, new: CachePriority) {
+        if let Some(e) = self.meta.get_mut(lbn) {
+            e.priority = new;
+        }
+        let was_buffered = self.policy.write_buffered(old);
+        let is_buffered = self.policy.write_buffered(new);
+        if was_buffered && !is_buffered {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        } else if is_buffered && !was_buffered {
+            self.write_buffer_resident += 1;
+        }
+        self.stats.record_action(CacheAction::ReAllocation, 1);
+    }
+
+    /// Drains the shard's write buffer if its occupancy exceeds the limit:
+    /// buffered blocks are dropped from the cache and the number of *dirty*
+    /// blocks (which must be written to the HDD by the caller, outside the
+    /// shard lock) is returned.
+    fn drain_write_buffer_if_full(&mut self) -> Option<u64> {
+        if self.write_buffer_limit == 0 || self.write_buffer_resident <= self.write_buffer_limit {
+            return None;
+        }
+        let buffered = self.policy.drain_write_buffer();
+        let mut dirty_blocks = 0u64;
+        let mut removed = 0u64;
+        for lbn in buffered {
+            if let Some(entry) = self.meta.remove(lbn) {
+                if entry.is_dirty() {
+                    dirty_blocks += 1;
+                }
+                self.alloc.release(entry.pbn);
+                removed += 1;
+            }
+        }
+        // Deduct what was actually drained (for a complete drain — every
+        // shipped policy — this zeroes the counter) so a policy whose
+        // drain is partial cannot desynchronize the occupancy accounting.
+        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(removed);
+        self.stats
+            .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
+        Some(dirty_blocks)
+    }
+
+    /// Invalidates one block if resident; returns 1 if it was trimmed.
+    fn trim_block(&mut self, lbn: BlockAddr) -> u64 {
+        let Some(entry) = self.meta.remove(lbn) else {
+            // The block's lifetime ended while not resident: policies
+            // keeping history about absent addresses (2Q's ghost list)
+            // must still forget it.
+            self.policy.on_trim_absent(lbn);
+            return 0;
+        };
+        self.policy.on_remove(lbn, entry.priority);
+        if self.policy.write_buffered(entry.priority) {
+            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+        }
+        self.alloc.release(entry.pbn);
+        1
+    }
+}
+
+/// The hybrid SSD-over-HDD storage system: a policy-agnostic cache engine
+/// whose admission/eviction/promotion decisions come from a pluggable
+/// [`CachePolicy`]. With the default [`CachePolicyKind::SemanticPriority`]
+/// this **is** the paper's hStorage-DB cache (the [`crate::HybridCache`]
+/// alias); with [`CachePolicyKind::Lru`] / [`CachePolicyKind::Cflru`] /
+/// [`CachePolicyKind::TwoQ`] the same shards, devices and submission
+/// pipeline serve the classical baselines.
+pub struct CacheEngine {
+    config: PolicyConfig,
+    policy_kind: CachePolicyKind,
+    name: String,
+    /// Whether the installed policy maintains a write buffer (group 0).
+    /// When it does not, the write-buffer flush checks and the batch
+    /// run-splitting they require are skipped entirely.
+    write_buffering: bool,
+    cache_capacity: u64,
+    clock: SimClock,
+    ssd: SsdDevice,
+    hdd: HddDevice,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl CacheEngine {
+    /// Creates a single-shard engine with `cache_capacity_blocks` of SSD
+    /// cache in front of the HDD, using the paper's device models and the
+    /// semantic priority policy. One shard reproduces the paper's global
+    /// selective allocation/eviction exactly; use
+    /// [`Self::with_shard_count`] for concurrent workloads.
+    pub fn new(config: PolicyConfig, cache_capacity_blocks: u64) -> Self {
+        Self::with_shard_count(config, cache_capacity_blocks, 1)
+    }
+
+    /// Creates an engine whose state is striped over `shards` locks (each
+    /// managing an equal slice of the capacity) so concurrent submits to
+    /// different shards do not serialize.
+    pub fn with_shard_count(
+        config: PolicyConfig,
+        cache_capacity_blocks: u64,
+        shards: usize,
+    ) -> Self {
+        Self::with_shard_count_and_queue_depth(config, cache_capacity_blocks, shards, 1)
+    }
+
+    /// Creates a sharded engine whose devices merge up to `queue_depth`
+    /// adjacent queued requests into one physical transfer on the batched
+    /// submission path ([`StorageSystem::submit_batch`]).
+    /// `queue_depth = 1` (the [`Self::with_shard_count`] default) disables
+    /// merging and is timing-identical to per-request submission.
+    pub fn with_shard_count_and_queue_depth(
+        config: PolicyConfig,
+        cache_capacity_blocks: u64,
+        shards: usize,
+        queue_depth: usize,
+    ) -> Self {
+        let clock = SimClock::new();
+        Self::with_devices_sharded(
+            config,
+            cache_capacity_blocks,
+            shards,
+            SsdDevice::new(
+                SsdParameters::intel_320().with_queue_depth(queue_depth),
+                clock.clone(),
+            ),
+            HddDevice::new(
+                HddParameters::cheetah_15k7().with_queue_depth(queue_depth),
+                clock.clone(),
+            ),
+            clock,
+        )
+    }
+
+    /// Creates a single-shard engine over explicitly constructed devices.
+    /// The devices must share `clock`.
+    pub fn with_devices(
+        config: PolicyConfig,
+        cache_capacity_blocks: u64,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        Self::with_devices_sharded(config, cache_capacity_blocks, 1, ssd, hdd, clock)
+    }
+
+    /// Creates a sharded engine over explicitly constructed devices. The
+    /// devices must share `clock`. Shard `i` manages the blocks with
+    /// `lbn % shards == i` and `capacity / shards` slots (the remainder is
+    /// spread over the first shards).
+    pub fn with_devices_sharded(
+        config: PolicyConfig,
+        cache_capacity_blocks: u64,
+        shards: usize,
+        ssd: SsdDevice,
+        hdd: HddDevice,
+        clock: SimClock,
+    ) -> Self {
+        config.validate().expect("invalid policy configuration");
+        assert!(shards > 0, "shard count must be positive");
+        let kind = CachePolicyKind::default();
+        let n = shards as u64;
+        let shards = (0..n)
+            .map(|i| {
+                let capacity = cache_capacity_blocks / n + u64::from(i < cache_capacity_blocks % n);
+                Mutex::new(Shard::new(&config, capacity, kind.build(&config, capacity)))
+            })
+            .collect();
+        let mut engine = CacheEngine {
+            config,
+            policy_kind: kind,
+            name: kind.system_name().to_string(),
+            write_buffering: true,
+            cache_capacity: cache_capacity_blocks,
+            clock,
+            ssd,
+            hdd,
+            shards,
+        };
+        engine.refresh_write_buffering();
+        engine
+    }
+
+    /// Re-derives [`Self::write_buffering`] from the installed policy and
+    /// enforces the write-buffer contract: the engine's buffer mechanism
+    /// (limit, flush trigger, batch run-splitting) is keyed to group 0,
+    /// so a policy declaring any other group buffered would accumulate
+    /// occupancy the engine never flushes.
+    fn refresh_write_buffering(&mut self) {
+        let Some(shard) = self.shards.first_mut() else {
+            self.write_buffering = false;
+            return;
+        };
+        let policy = &shard.get_mut().policy;
+        self.write_buffering = policy.write_buffered(CachePriority(0));
+        for group in 1..=u8::MAX {
+            assert!(
+                !policy.write_buffered(CachePriority(group)),
+                "CachePolicy declares group {group} write-buffered, but the engine's \
+                 write buffer is group 0 (see CachePolicy::write_buffered)"
+            );
+        }
+    }
+
+    /// Selects which shipped [`CachePolicyKind`] drives the engine's
+    /// decisions. Must be called before any traffic is submitted (the
+    /// per-shard policy state is rebuilt empty).
+    pub fn with_cache_policy(mut self, kind: CachePolicyKind) -> Self {
+        self.policy_kind = kind;
+        self.name = kind.system_name().to_string();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut();
+            assert!(
+                shard.meta.is_empty(),
+                "cache policy must be selected before submitting traffic"
+            );
+            shard.policy = kind.build(&self.config, shard.alloc.capacity());
+        }
+        self.refresh_write_buffering();
+        self
+    }
+
+    /// Installs a custom [`CachePolicy`] built by `factory` (called once
+    /// per shard with that shard's slot capacity) and names the resulting
+    /// storage system `name`. Must be called before any traffic is
+    /// submitted. See the [`CachePolicy`] docs for a worked example.
+    pub fn with_policy_factory(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u64) -> Box<dyn CachePolicy>,
+    ) -> Self {
+        self.name = name.into();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut();
+            assert!(
+                shard.meta.is_empty(),
+                "cache policy must be installed before submitting traffic"
+            );
+            shard.policy = factory(shard.alloc.capacity());
+        }
+        self.refresh_write_buffering();
+        self
+    }
+
+    /// The `{N, t, b}` policy configuration in force.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// Which shipped policy kind the engine was configured with (custom
+    /// factories report the default kind; their [`StorageSystem::name`]
+    /// identifies them).
+    pub fn cache_policy_kind(&self) -> CachePolicyKind {
+        self.policy_kind
+    }
+
+    /// Cache capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum number of blocks the write buffer may hold before a flush
+    /// (summed over all shards).
+    pub fn write_buffer_limit(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().write_buffer_limit)
+            .sum()
+    }
+
+    /// Number of blocks currently held in the write buffer.
+    pub fn write_buffer_resident(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().write_buffer_resident)
+            .sum()
+    }
+
+    /// Whether `lbn` is currently resident in the cache.
+    pub fn contains_block(&self, lbn: BlockAddr) -> bool {
+        self.shard(lbn).lock().meta.contains(lbn)
+    }
+
+    /// The priority group `lbn` currently lives in, if resident (for the
+    /// non-semantic policies this is the informational label recorded at
+    /// insertion).
+    pub fn cached_priority(&self, lbn: BlockAddr) -> Option<CachePriority> {
+        self.shard(lbn).lock().meta.get(lbn).map(|e| e.priority)
+    }
+
+    fn shard_index(&self, lbn: BlockAddr) -> usize {
+        (lbn.0 % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, lbn: BlockAddr) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(lbn)]
+    }
+
+    fn policy_request(&self, req: &ClassifiedRequest) -> PolicyRequest {
+        PolicyRequest {
+            direction: req.io.direction,
+            qos: req.policy,
+            prio: self.config.resolve(req.policy),
+        }
+    }
+
+    /// Issues the accumulated device traffic for one request.
+    fn flush_batch(&self, req: &ClassifiedRequest, batch: DeviceBatch) {
+        let seq = req.io.sequential;
+        let start = req.io.range.start;
+        if batch.hdd_read > 0 {
+            self.hdd.serve(&IoRequest::read(
+                BlockRange::new(start, batch.hdd_read),
+                seq,
+            ));
+        }
+        if batch.hdd_write > 0 {
+            self.hdd.serve(&IoRequest::write(
+                BlockRange::new(start, batch.hdd_write),
+                seq,
+            ));
+        }
+        if batch.ssd_read > 0 {
+            self.ssd.serve(&IoRequest::read(
+                BlockRange::new(start, batch.ssd_read),
+                seq,
+            ));
+        }
+        if batch.ssd_write > 0 {
+            self.ssd.serve(&IoRequest::write(
+                BlockRange::new(start, batch.ssd_write),
+                seq,
+            ));
+        }
+    }
+
+    /// Serves a run of non-write-buffer requests as one vectored submission:
+    /// block-level work is grouped by shard so each shard lock is taken once
+    /// for the whole run, and the accumulated device traffic is issued as
+    /// one queue per device so adjacent transfers merge up to the device
+    /// queue depth.
+    ///
+    /// Per-shard block order equals request order, so the cache state and
+    /// cache-level statistics after a run are identical to submitting each
+    /// request individually. Under a write-buffering policy, callers must
+    /// ensure no request in the run resolves to the write-buffer priority:
+    /// buffered traffic needs the per-request flush check of
+    /// [`StorageSystem::submit`]. (Non-buffering policies have no flush
+    /// semantics, so any request may appear in a run.)
+    fn submit_run(&self, reqs: &[ClassifiedRequest]) {
+        match reqs {
+            [] => return,
+            [one] => return self.submit(*one),
+            _ => {}
+        }
+        let preqs: Vec<PolicyRequest> = reqs.iter().map(|r| self.policy_request(r)).collect();
+        let mut hits = vec![0u64; reqs.len()];
+        let mut batches = vec![DeviceBatch::default(); reqs.len()];
+
+        if self.shards.len() == 1 {
+            // The whole run — block work and request counters — under a
+            // single lock acquisition.
+            let mut shard = self.shards[0].lock();
+            for (i, req) in reqs.iter().enumerate() {
+                for lbn in req.io.range.iter() {
+                    if shard.handle_block(lbn, &preqs[i], &mut batches[i]) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            for (i, req) in reqs.iter().enumerate() {
+                shard.stats.record_class(req.class, req.blocks(), hits[i]);
+                shard
+                    .stats
+                    .record_priority(preqs[i].prio.0, req.blocks(), hits[i]);
+            }
+        } else {
+            // Group block work by shard, preserving request order within
+            // each shard, and visit every touched shard exactly once.
+            let mut per_shard: Vec<Vec<(u32, BlockAddr)>> = vec![Vec::new(); self.shards.len()];
+            for (i, req) in reqs.iter().enumerate() {
+                for lbn in req.io.range.iter() {
+                    per_shard[self.shard_index(lbn)].push((i as u32, lbn));
+                }
+            }
+            for (idx, blocks) in per_shard.iter().enumerate() {
+                if blocks.is_empty() {
+                    continue;
+                }
+                let mut shard = self.shards[idx].lock();
+                for &(i, lbn) in blocks {
+                    let i = i as usize;
+                    if shard.handle_block(lbn, &preqs[i], &mut batches[i]) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            // Request-level counters are striped to the run's first shard;
+            // the aggregate view sums all stripes, so placement is free.
+            let mut shard = self.shard(reqs[0].io.range.start).lock();
+            for (i, req) in reqs.iter().enumerate() {
+                shard.stats.record_class(req.class, req.blocks(), hits[i]);
+                shard
+                    .stats
+                    .record_priority(preqs[i].prio.0, req.blocks(), hits[i]);
+            }
+        }
+
+        // Issue the device traffic as one queue per device, in request
+        // order (the order `submit` would have served it in), letting the
+        // device merge adjacent same-direction transfers.
+        let mut hdd_q = Vec::new();
+        let mut ssd_q = Vec::new();
+        for (req, b) in reqs.iter().zip(&batches) {
+            let seq = req.io.sequential;
+            let start = req.io.range.start;
+            if b.hdd_read > 0 {
+                hdd_q.push(IoRequest::read(BlockRange::new(start, b.hdd_read), seq));
+            }
+            if b.hdd_write > 0 {
+                hdd_q.push(IoRequest::write(BlockRange::new(start, b.hdd_write), seq));
+            }
+            if b.ssd_read > 0 {
+                ssd_q.push(IoRequest::read(BlockRange::new(start, b.ssd_read), seq));
+            }
+            if b.ssd_write > 0 {
+                ssd_q.push(IoRequest::write(BlockRange::new(start, b.ssd_write), seq));
+            }
+        }
+        if !hdd_q.is_empty() {
+            self.hdd.serve_batch(&hdd_q);
+        }
+        if !ssd_q.is_empty() {
+            self.ssd.serve_batch(&ssd_q);
+        }
+        // No write-buffer flush check: under a buffering policy the run
+        // contains no write-buffer requests, and under a non-buffering
+        // policy the buffer can never grow.
+    }
+
+    /// Flushes every shard's write buffer that exceeds its threshold `b`:
+    /// dirty buffered blocks are written to the HDD and the buffer space is
+    /// returned to the cache.
+    fn maybe_flush_write_buffers(&self) {
+        for shard in &self.shards {
+            let drained = shard.lock().drain_write_buffer_if_full();
+            if let Some(dirty_blocks) = drained {
+                if dirty_blocks > 0 {
+                    // The flush is a large, mostly sequential transfer.
+                    self.hdd
+                        .serve(&IoRequest::write(BlockRange::new(0u64, dirty_blocks), true));
+                }
+            }
+        }
+    }
+}
+
+impl StorageSystem for CacheEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&self, req: ClassifiedRequest) {
+        let preq = self.policy_request(&req);
+        let mut batch = DeviceBatch::default();
+        let mut hits = 0u64;
+        // Hold one shard lock at a time, re-acquiring only when the next
+        // block hashes to a different shard: with one shard the whole
+        // request — including the request-level counters below — is handled
+        // under a single lock acquisition, exactly like the unsharded
+        // implementation.
+        let mut guard = None;
+        let mut guard_idx = usize::MAX;
+        for lbn in req.io.range.iter() {
+            let idx = self.shard_index(lbn);
+            if guard_idx != idx {
+                // Release the old shard before acquiring the next one:
+                // assigning directly would briefly hold both locks, and
+                // ascending block addresses make the transition order
+                // cyclic (N-1 → 0), which can deadlock N concurrent
+                // multi-block submits.
+                drop(guard.take());
+                guard = Some(self.shards[idx].lock());
+                guard_idx = idx;
+            }
+            let shard = guard.as_mut().expect("shard guard just acquired");
+            if shard.handle_block(lbn, &preq, &mut batch) {
+                hits += 1;
+            }
+        }
+        // Request-level counters are striped to the last touched shard (the
+        // only shard, when unsharded); the aggregate view sums all stripes.
+        let mut shard = guard.unwrap_or_else(|| self.shard(req.io.range.start).lock());
+        shard.stats.record_class(req.class, req.blocks(), hits);
+        shard.stats.record_priority(preq.prio.0, req.blocks(), hits);
+        drop(shard);
+        self.flush_batch(&req, batch);
+        // Only write-buffer traffic can grow the buffer, so the flush
+        // check is needed — and its cost paid — only under a buffering
+        // policy and only then.
+        if self.write_buffering && preq.prio == CachePriority(0) {
+            self.maybe_flush_write_buffers();
+        }
+    }
+
+    fn submit_batch(&self, reqs: Vec<ClassifiedRequest>) {
+        if reqs.len() <= 1 {
+            if let Some(req) = reqs.into_iter().next() {
+                self.submit(req);
+            }
+            return;
+        }
+        // Under a non-buffering policy the buffer can never grow, so the
+        // whole batch is served as one run — no fragmentation, full
+        // device queue merging.
+        if !self.write_buffering {
+            return self.submit_run(&reqs);
+        }
+        // Write-buffer requests keep the per-request flush semantics of
+        // `submit`, so the batch is served as maximal runs of non-buffered
+        // requests with buffered requests submitted individually between
+        // them. On the hot path (scan batches) the whole batch is one run.
+        let mut run: Vec<ClassifiedRequest> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            if self.config.resolve(req.policy) == CachePriority(0) {
+                self.submit_run(&run);
+                run.clear();
+                self.submit(req);
+            } else {
+                run.push(req);
+            }
+        }
+        self.submit_run(&run);
+    }
+
+    fn trim(&self, cmd: &TrimCommand) {
+        for range in &cmd.ranges {
+            let mut blocks_iter = range.iter().peekable();
+            while let Some(lbn) = blocks_iter.next() {
+                let idx = self.shard_index(lbn);
+                let mut shard = self.shards[idx].lock();
+                let mut trimmed = shard.trim_block(lbn);
+                while let Some(&next) = blocks_iter.peek() {
+                    if self.shard_index(next) != idx {
+                        break;
+                    }
+                    blocks_iter.next();
+                    trimmed += shard.trim_block(next);
+                }
+                if trimmed > 0 {
+                    shard.stats.record_action(CacheAction::Trim, trimmed);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut aggregate = CacheStats::new();
+        let mut resident = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            aggregate.merge(&shard.stats);
+            resident += shard.meta.len() as u64;
+        }
+        aggregate.resident_blocks = resident;
+        aggregate.ssd = Some(self.ssd.stats());
+        aggregate.hdd = Some(self.hdd.stats());
+        aggregate
+    }
+
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.lock().stats = CacheStats::new();
+        }
+        self.ssd.reset_stats();
+        self.hdd.reset_stats();
+    }
+
+    fn resident_blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().meta.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru_cache::LruCache;
+    use hstorage_storage::{QosPolicy, RequestClass};
+
+    fn engine(kind: CachePolicyKind, capacity: u64) -> CacheEngine {
+        CacheEngine::new(PolicyConfig::paper_default(), capacity).with_cache_policy(kind)
+    }
+
+    fn read_req(start: u64, len: u64, class: RequestClass, policy: QosPolicy) -> ClassifiedRequest {
+        let sequential = matches!(class, RequestClass::Sequential);
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(start, len), sequential),
+            class,
+            policy,
+        )
+    }
+
+    fn write_req(
+        start: u64,
+        len: u64,
+        class: RequestClass,
+        policy: QosPolicy,
+    ) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::write(BlockRange::new(start, len), false),
+            class,
+            policy,
+        )
+    }
+
+    #[test]
+    fn policy_selection_renames_the_system() {
+        assert_eq!(
+            engine(CachePolicyKind::SemanticPriority, 10).name(),
+            "hStorage-DB"
+        );
+        assert_eq!(engine(CachePolicyKind::Lru, 10).name(), "hybrid-lru");
+        assert_eq!(engine(CachePolicyKind::Cflru, 10).name(), "hybrid-cflru");
+        assert_eq!(engine(CachePolicyKind::TwoQ, 10).name(), "hybrid-2q");
+        assert_eq!(
+            engine(CachePolicyKind::TwoQ, 10).cache_policy_kind(),
+            CachePolicyKind::TwoQ
+        );
+    }
+
+    #[test]
+    fn lru_policy_engine_admits_sequential_data_unlike_the_semantic_policy() {
+        let c = engine(CachePolicyKind::Lru, 100);
+        c.submit(read_req(
+            0,
+            50,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
+        // The scan fills the cache — the classic pollution the semantic
+        // policy avoids.
+        assert_eq!(c.resident_blocks(), 50);
+        assert_eq!(c.stats().action(CacheAction::Bypassing), 0);
+
+        let semantic = engine(CachePolicyKind::SemanticPriority, 100);
+        semantic.submit(read_req(
+            0,
+            50,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
+        assert_eq!(semantic.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn lru_policy_engine_matches_the_standalone_lru_baseline_on_reuse() {
+        // The engine running the Lru policy and the paper's standalone
+        // LruCache baseline implement the same algorithm; on a
+        // no-write-buffer trace their cache-level counters agree.
+        let eng = engine(CachePolicyKind::Lru, 32);
+        let base = LruCache::new(32);
+        let mk = |i: u64| read_req(i % 48, 1, RequestClass::Random, QosPolicy::priority(2));
+        for i in 0..500u64 {
+            eng.submit(mk(i));
+            base.submit(mk(i));
+        }
+        let (es, bs) = (eng.stats(), base.stats());
+        assert_eq!(es.per_class, bs.per_class);
+        assert_eq!(
+            es.action(CacheAction::Eviction),
+            bs.action(CacheAction::Eviction)
+        );
+        assert_eq!(eng.resident_blocks(), base.resident_blocks());
+    }
+
+    #[test]
+    fn cflru_policy_engine_saves_dirty_writebacks_over_lru() {
+        // Half the resident set is dirty; a stream of fresh reads then
+        // forces evictions. CFLRU must write back fewer dirty blocks than
+        // plain LRU for the same logical traffic.
+        let run = |kind: CachePolicyKind| {
+            let c = engine(kind, 64);
+            for i in 0..64u64 {
+                if i % 2 == 0 {
+                    c.submit(write_req(
+                        i,
+                        1,
+                        RequestClass::Random,
+                        QosPolicy::priority(3),
+                    ));
+                } else {
+                    c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(3)));
+                }
+            }
+            for i in 1_000..1_016u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(3)));
+            }
+            c.stats().hdd.expect("engine has an HDD").blocks_written
+        };
+        assert!(run(CachePolicyKind::Cflru) < run(CachePolicyKind::Lru));
+    }
+
+    #[test]
+    fn two_q_policy_engine_resists_scan_pollution() {
+        // Repeated rounds of a small hot set followed by a one-shot scan
+        // larger than the cache. LRU loses the hot set to every scan; 2Q
+        // evicts it to the ghost list once, promotes it to Am on the next
+        // round's re-reference, and from then on the scans only churn the
+        // probationary queue.
+        let hot_hits = |kind: CachePolicyKind| {
+            let c = engine(kind, 64);
+            for round in 0..30u64 {
+                for i in 0..8u64 {
+                    c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+                }
+                c.submit(read_req(
+                    10_000 + round * 64,
+                    64,
+                    RequestClass::Sequential,
+                    QosPolicy::NonCachingNonEviction,
+                ));
+            }
+            c.stats().class(RequestClass::Random).cache_hits
+        };
+        let two_q = hot_hits(CachePolicyKind::TwoQ);
+        let lru = hot_hits(CachePolicyKind::Lru);
+        assert!(
+            two_q > 2 * lru.max(1),
+            "2Q must out-hit LRU on the scan-polluted hot set (2Q {two_q}, LRU {lru})"
+        );
+    }
+
+    #[test]
+    fn non_semantic_policies_have_no_write_buffer() {
+        let c = engine(CachePolicyKind::Lru, 100);
+        for i in 0..30u64 {
+            c.submit(write_req(
+                i,
+                1,
+                RequestClass::Update,
+                QosPolicy::WriteBuffer,
+            ));
+        }
+        // Buffered updates are ordinary cached writes: no flush, no
+        // write-buffer residency.
+        assert_eq!(c.write_buffer_resident(), 0);
+        assert_eq!(c.stats().action(CacheAction::WriteBufferFlush), 0);
+        assert_eq!(c.resident_blocks(), 30);
+    }
+
+    #[test]
+    fn policies_keep_capacity_invariants_under_churn() {
+        for kind in CachePolicyKind::all() {
+            let c = engine(kind, 64);
+            for i in 0..1_000u64 {
+                let prio = 2 + (i % 5) as u8;
+                if i % 7 == 0 {
+                    c.submit(write_req(
+                        i,
+                        1,
+                        RequestClass::Random,
+                        QosPolicy::priority(prio),
+                    ));
+                } else {
+                    c.submit(read_req(
+                        i % 200,
+                        1,
+                        RequestClass::Random,
+                        QosPolicy::priority(prio),
+                    ));
+                }
+                assert!(c.resident_blocks() <= 64, "{kind}");
+            }
+            let s = c.stats();
+            assert_eq!(
+                s.class(RequestClass::Random).accessed_blocks,
+                1_000,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn trim_invalidates_under_every_policy() {
+        for kind in CachePolicyKind::all() {
+            let c = engine(kind, 100);
+            c.submit(write_req(
+                0,
+                40,
+                RequestClass::TemporaryData,
+                QosPolicy::priority(1),
+            ));
+            assert_eq!(c.resident_blocks(), 40, "{kind}");
+            c.trim(&TrimCommand::single(BlockRange::new(0u64, 40)));
+            assert_eq!(c.resident_blocks(), 0, "{kind}");
+            assert_eq!(c.stats().action(CacheAction::Trim), 40, "{kind}");
+            // Space is reusable afterwards.
+            c.submit(read_req(
+                200,
+                60,
+                RequestClass::Random,
+                QosPolicy::priority(2),
+            ));
+            assert_eq!(c.resident_blocks(), 60, "{kind}");
+        }
+    }
+
+    #[test]
+    fn trim_of_an_evicted_block_clears_its_2q_ghost() {
+        // Temporary-data lifecycle against the ghost list: a block that
+        // was evicted (and ghosted) and then TRIMmed must be a first-touch
+        // block again when its address is re-used — not falsely hot.
+        let c = engine(CachePolicyKind::TwoQ, 8); // kin = 2 per shard
+        c.submit(write_req(
+            3,
+            1,
+            RequestClass::TemporaryData,
+            QosPolicy::priority(1),
+        ));
+        // Churn enough same-shard blocks through probation to evict 3.
+        for i in 0..20u64 {
+            c.submit(read_req(
+                10 + i,
+                1,
+                RequestClass::Random,
+                QosPolicy::priority(2),
+            ));
+        }
+        assert!(!c.contains_block(BlockAddr(3)), "block 3 must be evicted");
+        // End of lifetime for the (absent) block.
+        c.trim(&TrimCommand::single(BlockRange::new(3u64, 1)));
+        assert_eq!(c.stats().action(CacheAction::Trim), 0, "nothing resident");
+
+        // Against a twin engine that never saw the block, the re-used
+        // address must behave identically (i.e. not be ghost-promoted).
+        let twin = engine(CachePolicyKind::TwoQ, 8);
+        for e in [&c, &twin] {
+            e.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
+            for i in 100..140u64 {
+                e.submit(read_req(
+                    3 + i * 8,
+                    1,
+                    RequestClass::Random,
+                    QosPolicy::priority(2),
+                ));
+            }
+        }
+        assert_eq!(
+            c.contains_block(BlockAddr(3)),
+            twin.contains_block(BlockAddr(3)),
+            "stale ghost must not change the re-used address's fate"
+        );
+    }
+
+    #[test]
+    fn non_buffering_policies_serve_mixed_batches_as_one_run() {
+        // A batch containing WriteBuffer requests must not fragment under
+        // a policy without a write buffer: at queue depth 8 the adjacent
+        // scan reads around the update still merge into few transfers.
+        let one_run = CacheEngine::with_shard_count_and_queue_depth(
+            PolicyConfig::paper_default(),
+            1_000,
+            1,
+            8,
+        )
+        .with_cache_policy(CachePolicyKind::Lru);
+        let reqs: Vec<ClassifiedRequest> = (0..64u64)
+            .map(|i| {
+                if i == 31 {
+                    write_req(2_000, 1, RequestClass::Update, QosPolicy::WriteBuffer)
+                } else {
+                    read_req(
+                        i,
+                        1,
+                        RequestClass::Sequential,
+                        QosPolicy::NonCachingNonEviction,
+                    )
+                }
+            })
+            .collect();
+        one_run.submit_batch(reqs);
+        // 63 scan misses + 1 update: LRU admits everything, so the HDD
+        // sees 63 read-allocation fetches. Unfragmented, they merge into
+        // ceil(31/8) + ceil(32/8) = 8 transfers (split only at the
+        // non-adjacent update address), not the ~10+ a per-request split
+        // at the buffered write would produce.
+        let hdd = one_run.stats().hdd.expect("engine has an HDD");
+        assert_eq!(hdd.blocks_read, 63);
+        assert_eq!(hdd.read_requests, 8);
+    }
+
+    #[test]
+    fn batch_equals_sequential_for_every_policy() {
+        for kind in CachePolicyKind::all() {
+            let batched = engine(kind, 256);
+            let sequential = engine(kind, 256);
+            let reqs: Vec<ClassifiedRequest> = (0..300u64)
+                .map(|i| match i % 4 {
+                    0 => read_req(i % 80, 2, RequestClass::Random, QosPolicy::priority(2)),
+                    1 => read_req(
+                        1_000 + i,
+                        1,
+                        RequestClass::Sequential,
+                        QosPolicy::NonCachingNonEviction,
+                    ),
+                    2 => write_req(i % 50, 1, RequestClass::Update, QosPolicy::WriteBuffer),
+                    _ => write_req(
+                        2_000 + i,
+                        1,
+                        RequestClass::TemporaryData,
+                        QosPolicy::priority(1),
+                    ),
+                })
+                .collect();
+            for req in &reqs {
+                sequential.submit(*req);
+            }
+            batched.submit_batch(reqs);
+            assert_eq!(batched.stats(), sequential.stats(), "{kind}");
+            assert_eq!(batched.now(), sequential.now(), "{kind}");
+        }
+    }
+}

@@ -1,7 +1,11 @@
-//! The hStorage-DB hybrid cache (Section 5).
+//! The hStorage-DB hybrid cache (Section 5): the paper's configuration of
+//! the pluggable cache engine.
 //!
-//! An SSD works as a cache for an HDD. Admission and eviction are driven by
-//! the caching priority each request carries:
+//! Since the mechanism/policy split, [`HybridCache`] is the
+//! [`CacheEngine`] running its default
+//! [`SemanticPriorityPolicy`](crate::policy::SemanticPriorityPolicy):
+//! an SSD works as a cache for an HDD, and admission and eviction are
+//! driven by the caching priority each request carries:
 //!
 //! * **Selective allocation** — only blocks whose priority is below the
 //!   non-caching threshold `t` are considered for caching; when the cache is
@@ -10,714 +14,27 @@
 //! * **Selective eviction** — the victim is the least-recently-used block of
 //!   the lowest-priority non-empty group.
 //!
-//! The six actions of Section 5.1 (cache hit, read allocation, write
-//! allocation, bypassing, re-allocation, eviction) are all implemented and
-//! counted, as are TRIM-driven invalidations and write-buffer flushes.
-//!
-//! # Concurrency
-//!
-//! The cache is a shared service: [`StorageSystem::submit`] takes `&self`,
-//! so one instance can serve many threads. Internally the block metadata,
-//! per-priority LRU groups, slot allocator, write buffer and statistics are
-//! partitioned into `N` *shards* keyed by logical block address
-//! (`lbn % N`), each behind its own mutex — submits that touch different
-//! shards proceed in parallel, and statistics are striped per shard and
-//! aggregated on read. Each shard manages an equal slice of the cache
-//! capacity, so selective allocation and eviction are decided shard-locally.
-//! With a single shard (the default, used by the paper-figure experiments)
-//! the behaviour is block-for-block identical to the original exclusive
-//! implementation; [`HybridCache::with_shard_count`] enables real
-//! parallelism for the threaded drivers and benches.
+//! The unit tests in this module are the behavioural specification the
+//! refactor was carried out against: they encode the exact statistics and
+//! device traffic of the pre-framework implementation and must keep
+//! passing unchanged for any change to the engine or the semantic policy.
 
-use crate::allocator::SlotAllocator;
-use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
-use crate::priority_group::PriorityGroups;
-use crate::stats::{CacheAction, CacheStats};
-use crate::system::StorageSystem;
-use hstorage_storage::{
-    BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, HddParameters,
-    IoRequest, PolicyConfig, QosPolicy, SimClock, SsdDevice, SsdParameters, StorageDevice,
-    TrimCommand,
-};
-use parking_lot::Mutex;
-use std::time::Duration;
+use crate::engine::CacheEngine;
 
-/// Per-request batch of device traffic, flushed as one I/O per device and
-/// direction so multi-block requests pay one command overhead, like the real
-/// system.
-#[derive(Debug, Default, Clone, Copy)]
-struct DeviceBatch {
-    ssd_read: u64,
-    ssd_write: u64,
-    hdd_read: u64,
-    hdd_write: u64,
-}
-
-/// One lock-striped partition of the cache: the metadata, LRU groups,
-/// allocator, write-buffer occupancy and statistics for the blocks whose
-/// address hashes to this shard.
-struct Shard {
-    meta: CacheMetadata,
-    groups: PriorityGroups,
-    alloc: SlotAllocator,
-    /// Maximum blocks this shard's slice of the write buffer may hold.
-    write_buffer_limit: u64,
-    /// Blocks currently resident in the write-buffer group (group 0).
-    write_buffer_resident: u64,
-    stats: CacheStats,
-}
-
-impl Shard {
-    fn new(policy: &PolicyConfig, capacity: u64) -> Self {
-        Shard {
-            meta: CacheMetadata::new(),
-            groups: PriorityGroups::new(policy.total_priorities),
-            alloc: SlotAllocator::new(capacity),
-            write_buffer_limit: (capacity as f64 * policy.write_buffer_fraction).floor() as u64,
-            write_buffer_resident: 0,
-            stats: CacheStats::new(),
-        }
-    }
-
-    /// Evicts the selective-eviction victim, writing it back if dirty.
-    /// Returns `false` if the shard was empty.
-    fn evict_one(&mut self, batch: &mut DeviceBatch) -> bool {
-        let Some((victim, prio)) = self.groups.pop_victim() else {
-            return false;
-        };
-        let entry = self
-            .meta
-            .remove(victim)
-            .expect("victim present in groups but not in metadata");
-        debug_assert_eq!(entry.priority, prio);
-        if entry.is_dirty() {
-            batch.hdd_write += 1;
-        }
-        if prio == CachePriority(0) {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
-        }
-        self.alloc.release(entry.pbn);
-        self.stats.record_action(CacheAction::Eviction, 1);
-        true
-    }
-
-    /// Tries to obtain a free cache slot for a block of priority `prio`,
-    /// applying the selective-allocation rule. Returns the physical slot or
-    /// `None` if the block must bypass the cache.
-    fn try_allocate(&mut self, prio: CachePriority, batch: &mut DeviceBatch) -> Option<u64> {
-        if let Some(pbn) = self.alloc.allocate() {
-            return Some(pbn);
-        }
-        // Shard full: admit only if some resident block has an equal or
-        // lower priority (a numerically >= priority value).
-        let victim_prio = self.groups.lowest_occupied_priority()?;
-        if victim_prio.0 >= prio.0 {
-            self.evict_one(batch);
-            self.alloc.allocate()
-        } else {
-            None
-        }
-    }
-
-    /// Handles one block of a request; returns `true` on a cache hit.
-    fn handle_block(
-        &mut self,
-        config: &PolicyConfig,
-        lbn: BlockAddr,
-        direction: Direction,
-        policy: QosPolicy,
-        prio: CachePriority,
-        batch: &mut DeviceBatch,
-    ) -> bool {
-        if let Some(entry) = self.meta.get(lbn).copied() {
-            // --- Cache hit ---
-            self.stats.record_action(CacheAction::CacheHit, 1);
-            match policy {
-                QosPolicy::NonCachingNonEviction => {
-                    // Does not affect the existing layout: no touch, no move.
-                }
-                QosPolicy::NonCachingEviction => {
-                    let target = config.non_caching_eviction();
-                    if entry.priority != target {
-                        self.reallocate(lbn, entry.priority, target);
-                    }
-                }
-                QosPolicy::Priority(_) | QosPolicy::WriteBuffer => {
-                    if entry.priority != prio {
-                        self.reallocate(lbn, entry.priority, prio);
-                    } else {
-                        self.groups.touch(lbn, prio);
-                    }
-                }
-            }
-            match direction {
-                Direction::Read => batch.ssd_read += 1,
-                Direction::Write => {
-                    batch.ssd_write += 1;
-                    if let Some(e) = self.meta.get_mut(lbn) {
-                        e.state = BlockState::Dirty;
-                    }
-                }
-            }
-            return true;
-        }
-
-        // --- Cache miss ---
-        let admissible = policy.admits() && config.admissible(prio);
-        if !admissible {
-            // Bypassing: straight to the second-level device.
-            self.stats.record_action(CacheAction::Bypassing, 1);
-            match direction {
-                Direction::Read => batch.hdd_read += 1,
-                Direction::Write => batch.hdd_write += 1,
-            }
-            return false;
-        }
-
-        match self.try_allocate(prio, batch) {
-            Some(pbn) => {
-                let state = match direction {
-                    Direction::Read => {
-                        // Read allocation: fetch from HDD, place in SSD.
-                        self.stats.record_action(CacheAction::ReadAllocation, 1);
-                        batch.hdd_read += 1;
-                        batch.ssd_write += 1;
-                        BlockState::Clean
-                    }
-                    Direction::Write => {
-                        // Write allocation: place in SSD, mark dirty.
-                        self.stats.record_action(CacheAction::WriteAllocation, 1);
-                        batch.ssd_write += 1;
-                        BlockState::Dirty
-                    }
-                };
-                self.meta.insert(
-                    lbn,
-                    CacheEntry {
-                        pbn,
-                        priority: prio,
-                        state,
-                    },
-                );
-                self.groups.insert(lbn, prio);
-                if prio == CachePriority(0) {
-                    self.write_buffer_resident += 1;
-                }
-            }
-            None => {
-                // Not cache-worthy relative to current residents: bypass.
-                self.stats.record_action(CacheAction::Bypassing, 1);
-                match direction {
-                    Direction::Read => batch.hdd_read += 1,
-                    Direction::Write => batch.hdd_write += 1,
-                }
-            }
-        }
-        false
-    }
-
-    fn reallocate(&mut self, lbn: BlockAddr, old: CachePriority, new: CachePriority) {
-        self.groups.reallocate(lbn, old, new);
-        if let Some(e) = self.meta.get_mut(lbn) {
-            e.priority = new;
-        }
-        if old == CachePriority(0) && new != CachePriority(0) {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
-        } else if new == CachePriority(0) && old != CachePriority(0) {
-            self.write_buffer_resident += 1;
-        }
-        self.stats.record_action(CacheAction::ReAllocation, 1);
-    }
-
-    /// Drains the shard's write buffer if its occupancy exceeds the limit:
-    /// buffered blocks are dropped from the cache and the number of *dirty*
-    /// blocks (which must be written to the HDD by the caller, outside the
-    /// shard lock) is returned.
-    fn drain_write_buffer_if_full(&mut self) -> Option<u64> {
-        if self.write_buffer_limit == 0 || self.write_buffer_resident <= self.write_buffer_limit {
-            return None;
-        }
-        let buffered: Vec<BlockAddr> = self.groups.iter_group(CachePriority(0)).copied().collect();
-        let mut dirty_blocks = 0u64;
-        for lbn in buffered {
-            if let Some(entry) = self.meta.remove(lbn) {
-                if entry.is_dirty() {
-                    dirty_blocks += 1;
-                }
-                self.groups.remove(lbn, CachePriority(0));
-                self.alloc.release(entry.pbn);
-            }
-        }
-        self.write_buffer_resident = 0;
-        self.stats
-            .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
-        Some(dirty_blocks)
-    }
-}
-
-/// The hybrid SSD-over-HDD storage system managed by caching priorities.
-pub struct HybridCache {
-    policy: PolicyConfig,
-    cache_capacity: u64,
-    clock: SimClock,
-    ssd: SsdDevice,
-    hdd: HddDevice,
-    shards: Vec<Mutex<Shard>>,
-}
-
-impl HybridCache {
-    /// Creates a single-shard hybrid cache with `cache_capacity_blocks` of
-    /// SSD cache in front of the HDD, using the paper's device models. One
-    /// shard reproduces the paper's global selective allocation/eviction
-    /// exactly; use [`Self::with_shard_count`] for concurrent workloads.
-    pub fn new(policy: PolicyConfig, cache_capacity_blocks: u64) -> Self {
-        Self::with_shard_count(policy, cache_capacity_blocks, 1)
-    }
-
-    /// Creates a hybrid cache whose state is striped over `shards` locks
-    /// (each managing an equal slice of the capacity) so concurrent submits
-    /// to different shards do not serialize.
-    pub fn with_shard_count(
-        policy: PolicyConfig,
-        cache_capacity_blocks: u64,
-        shards: usize,
-    ) -> Self {
-        Self::with_shard_count_and_queue_depth(policy, cache_capacity_blocks, shards, 1)
-    }
-
-    /// Creates a sharded hybrid cache whose devices merge up to
-    /// `queue_depth` adjacent queued requests into one physical transfer on
-    /// the batched submission path ([`StorageSystem::submit_batch`]).
-    /// `queue_depth = 1` (the [`Self::with_shard_count`] default) disables
-    /// merging and is timing-identical to per-request submission.
-    pub fn with_shard_count_and_queue_depth(
-        policy: PolicyConfig,
-        cache_capacity_blocks: u64,
-        shards: usize,
-        queue_depth: usize,
-    ) -> Self {
-        let clock = SimClock::new();
-        Self::with_devices_sharded(
-            policy,
-            cache_capacity_blocks,
-            shards,
-            SsdDevice::new(
-                SsdParameters::intel_320().with_queue_depth(queue_depth),
-                clock.clone(),
-            ),
-            HddDevice::new(
-                HddParameters::cheetah_15k7().with_queue_depth(queue_depth),
-                clock.clone(),
-            ),
-            clock,
-        )
-    }
-
-    /// Creates a single-shard hybrid cache over explicitly constructed
-    /// devices. The devices must share `clock`.
-    pub fn with_devices(
-        policy: PolicyConfig,
-        cache_capacity_blocks: u64,
-        ssd: SsdDevice,
-        hdd: HddDevice,
-        clock: SimClock,
-    ) -> Self {
-        Self::with_devices_sharded(policy, cache_capacity_blocks, 1, ssd, hdd, clock)
-    }
-
-    /// Creates a sharded hybrid cache over explicitly constructed devices.
-    /// The devices must share `clock`. Shard `i` manages the blocks with
-    /// `lbn % shards == i` and `capacity / shards` slots (the remainder is
-    /// spread over the first shards).
-    pub fn with_devices_sharded(
-        policy: PolicyConfig,
-        cache_capacity_blocks: u64,
-        shards: usize,
-        ssd: SsdDevice,
-        hdd: HddDevice,
-        clock: SimClock,
-    ) -> Self {
-        policy.validate().expect("invalid policy configuration");
-        assert!(shards > 0, "shard count must be positive");
-        let n = shards as u64;
-        let shards = (0..n)
-            .map(|i| {
-                let capacity = cache_capacity_blocks / n + u64::from(i < cache_capacity_blocks % n);
-                Mutex::new(Shard::new(&policy, capacity))
-            })
-            .collect();
-        HybridCache {
-            policy,
-            cache_capacity: cache_capacity_blocks,
-            clock,
-            ssd,
-            hdd,
-            shards,
-        }
-    }
-
-    /// The policy configuration in force.
-    pub fn policy(&self) -> &PolicyConfig {
-        &self.policy
-    }
-
-    /// Cache capacity in blocks.
-    pub fn capacity_blocks(&self) -> u64 {
-        self.cache_capacity
-    }
-
-    /// Number of lock-striped shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Maximum number of blocks the write buffer may hold before a flush
-    /// (summed over all shards).
-    pub fn write_buffer_limit(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().write_buffer_limit)
-            .sum()
-    }
-
-    /// Number of blocks currently held in the write buffer.
-    pub fn write_buffer_resident(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().write_buffer_resident)
-            .sum()
-    }
-
-    /// Whether `lbn` is currently resident in the cache.
-    pub fn contains_block(&self, lbn: BlockAddr) -> bool {
-        self.shard(lbn).lock().meta.contains(lbn)
-    }
-
-    /// The priority group `lbn` currently lives in, if resident.
-    pub fn cached_priority(&self, lbn: BlockAddr) -> Option<CachePriority> {
-        self.shard(lbn).lock().meta.get(lbn).map(|e| e.priority)
-    }
-
-    fn shard_index(&self, lbn: BlockAddr) -> usize {
-        (lbn.0 % self.shards.len() as u64) as usize
-    }
-
-    fn shard(&self, lbn: BlockAddr) -> &Mutex<Shard> {
-        &self.shards[self.shard_index(lbn)]
-    }
-
-    /// Issues the accumulated device traffic for one request.
-    fn flush_batch(&self, req: &ClassifiedRequest, batch: DeviceBatch) {
-        let seq = req.io.sequential;
-        let start = req.io.range.start;
-        if batch.hdd_read > 0 {
-            self.hdd.serve(&IoRequest::read(
-                BlockRange::new(start, batch.hdd_read),
-                seq,
-            ));
-        }
-        if batch.hdd_write > 0 {
-            self.hdd.serve(&IoRequest::write(
-                BlockRange::new(start, batch.hdd_write),
-                seq,
-            ));
-        }
-        if batch.ssd_read > 0 {
-            self.ssd.serve(&IoRequest::read(
-                BlockRange::new(start, batch.ssd_read),
-                seq,
-            ));
-        }
-        if batch.ssd_write > 0 {
-            self.ssd.serve(&IoRequest::write(
-                BlockRange::new(start, batch.ssd_write),
-                seq,
-            ));
-        }
-    }
-
-    /// Serves a run of non-write-buffer requests as one vectored submission:
-    /// block-level work is grouped by shard so each shard lock is taken once
-    /// for the whole run, and the accumulated device traffic is issued as
-    /// one queue per device so adjacent transfers merge up to the device
-    /// queue depth.
-    ///
-    /// Per-shard block order equals request order, so the cache state and
-    /// cache-level statistics after a run are identical to submitting each
-    /// request individually. Callers must ensure no request in the run
-    /// resolves to priority 0: write-buffer traffic needs the per-request
-    /// flush check of [`StorageSystem::submit`].
-    fn submit_run(&self, reqs: &[ClassifiedRequest]) {
-        match reqs {
-            [] => return,
-            [one] => return self.submit(*one),
-            _ => {}
-        }
-        let prios: Vec<CachePriority> =
-            reqs.iter().map(|r| self.policy.resolve(r.policy)).collect();
-        let mut hits = vec![0u64; reqs.len()];
-        let mut batches = vec![DeviceBatch::default(); reqs.len()];
-
-        if self.shards.len() == 1 {
-            // The whole run — block work and request counters — under a
-            // single lock acquisition.
-            let mut shard = self.shards[0].lock();
-            for (i, req) in reqs.iter().enumerate() {
-                for lbn in req.io.range.iter() {
-                    if shard.handle_block(
-                        &self.policy,
-                        lbn,
-                        req.io.direction,
-                        req.policy,
-                        prios[i],
-                        &mut batches[i],
-                    ) {
-                        hits[i] += 1;
-                    }
-                }
-            }
-            for (i, req) in reqs.iter().enumerate() {
-                shard.stats.record_class(req.class, req.blocks(), hits[i]);
-                shard
-                    .stats
-                    .record_priority(prios[i].0, req.blocks(), hits[i]);
-            }
-        } else {
-            // Group block work by shard, preserving request order within
-            // each shard, and visit every touched shard exactly once.
-            let mut per_shard: Vec<Vec<(u32, BlockAddr)>> = vec![Vec::new(); self.shards.len()];
-            for (i, req) in reqs.iter().enumerate() {
-                for lbn in req.io.range.iter() {
-                    per_shard[self.shard_index(lbn)].push((i as u32, lbn));
-                }
-            }
-            for (idx, blocks) in per_shard.iter().enumerate() {
-                if blocks.is_empty() {
-                    continue;
-                }
-                let mut shard = self.shards[idx].lock();
-                for &(i, lbn) in blocks {
-                    let i = i as usize;
-                    if shard.handle_block(
-                        &self.policy,
-                        lbn,
-                        reqs[i].io.direction,
-                        reqs[i].policy,
-                        prios[i],
-                        &mut batches[i],
-                    ) {
-                        hits[i] += 1;
-                    }
-                }
-            }
-            // Request-level counters are striped to the run's first shard;
-            // the aggregate view sums all stripes, so placement is free.
-            let mut shard = self.shard(reqs[0].io.range.start).lock();
-            for (i, req) in reqs.iter().enumerate() {
-                shard.stats.record_class(req.class, req.blocks(), hits[i]);
-                shard
-                    .stats
-                    .record_priority(prios[i].0, req.blocks(), hits[i]);
-            }
-        }
-
-        // Issue the device traffic as one queue per device, in request
-        // order (the order `submit` would have served it in), letting the
-        // device merge adjacent same-direction transfers.
-        let mut hdd_q = Vec::new();
-        let mut ssd_q = Vec::new();
-        for (req, b) in reqs.iter().zip(&batches) {
-            let seq = req.io.sequential;
-            let start = req.io.range.start;
-            if b.hdd_read > 0 {
-                hdd_q.push(IoRequest::read(BlockRange::new(start, b.hdd_read), seq));
-            }
-            if b.hdd_write > 0 {
-                hdd_q.push(IoRequest::write(BlockRange::new(start, b.hdd_write), seq));
-            }
-            if b.ssd_read > 0 {
-                ssd_q.push(IoRequest::read(BlockRange::new(start, b.ssd_read), seq));
-            }
-            if b.ssd_write > 0 {
-                ssd_q.push(IoRequest::write(BlockRange::new(start, b.ssd_write), seq));
-            }
-        }
-        if !hdd_q.is_empty() {
-            self.hdd.serve_batch(&hdd_q);
-        }
-        if !ssd_q.is_empty() {
-            self.ssd.serve_batch(&ssd_q);
-        }
-        // No write-buffer flush check: the run contains no priority-0
-        // requests, and only priority-0 traffic can grow the buffer.
-    }
-
-    /// Flushes every shard's write buffer that exceeds its threshold `b`:
-    /// dirty buffered blocks are written to the HDD and the buffer space is
-    /// returned to the cache.
-    fn maybe_flush_write_buffers(&self) {
-        for shard in &self.shards {
-            let drained = shard.lock().drain_write_buffer_if_full();
-            if let Some(dirty_blocks) = drained {
-                if dirty_blocks > 0 {
-                    // The flush is a large, mostly sequential transfer.
-                    self.hdd
-                        .serve(&IoRequest::write(BlockRange::new(0u64, dirty_blocks), true));
-                }
-            }
-        }
-    }
-}
-
-impl StorageSystem for HybridCache {
-    fn name(&self) -> &str {
-        "hStorage-DB"
-    }
-
-    fn submit(&self, req: ClassifiedRequest) {
-        let prio = self.policy.resolve(req.policy);
-        let mut batch = DeviceBatch::default();
-        let mut hits = 0u64;
-        // Hold one shard lock at a time, re-acquiring only when the next
-        // block hashes to a different shard: with one shard the whole
-        // request — including the request-level counters below — is handled
-        // under a single lock acquisition, exactly like the unsharded
-        // implementation.
-        let mut guard = None;
-        let mut guard_idx = usize::MAX;
-        for lbn in req.io.range.iter() {
-            let idx = self.shard_index(lbn);
-            if guard_idx != idx {
-                // Release the old shard before acquiring the next one:
-                // assigning directly would briefly hold both locks, and
-                // ascending block addresses make the transition order
-                // cyclic (N-1 → 0), which can deadlock N concurrent
-                // multi-block submits.
-                drop(guard.take());
-                guard = Some(self.shards[idx].lock());
-                guard_idx = idx;
-            }
-            let shard = guard.as_mut().expect("shard guard just acquired");
-            if shard.handle_block(
-                &self.policy,
-                lbn,
-                req.io.direction,
-                req.policy,
-                prio,
-                &mut batch,
-            ) {
-                hits += 1;
-            }
-        }
-        // Request-level counters are striped to the last touched shard (the
-        // only shard, when unsharded); the aggregate view sums all stripes.
-        let mut shard = guard.unwrap_or_else(|| self.shard(req.io.range.start).lock());
-        shard.stats.record_class(req.class, req.blocks(), hits);
-        shard.stats.record_priority(prio.0, req.blocks(), hits);
-        drop(shard);
-        self.flush_batch(&req, batch);
-        // Only priority-0 (write-buffer) traffic can grow the buffer, so
-        // the flush check is needed — and its cost paid — only then.
-        if prio == CachePriority(0) {
-            self.maybe_flush_write_buffers();
-        }
-    }
-
-    fn submit_batch(&self, reqs: Vec<ClassifiedRequest>) {
-        if reqs.len() <= 1 {
-            if let Some(req) = reqs.into_iter().next() {
-                self.submit(req);
-            }
-            return;
-        }
-        // Write-buffer requests keep the per-request flush semantics of
-        // `submit`, so the batch is served as maximal runs of non-buffered
-        // requests with buffered requests submitted individually between
-        // them. On the hot path (scan batches) the whole batch is one run.
-        let mut run: Vec<ClassifiedRequest> = Vec::with_capacity(reqs.len());
-        for req in reqs {
-            if self.policy.resolve(req.policy) == CachePriority(0) {
-                self.submit_run(&run);
-                run.clear();
-                self.submit(req);
-            } else {
-                run.push(req);
-            }
-        }
-        self.submit_run(&run);
-    }
-
-    fn trim(&self, cmd: &TrimCommand) {
-        for range in &cmd.ranges {
-            let mut blocks_iter = range.iter().peekable();
-            while let Some(lbn) = blocks_iter.next() {
-                let idx = self.shard_index(lbn);
-                let mut shard = self.shards[idx].lock();
-                let mut trimmed = shard.trim_block(lbn);
-                while let Some(&next) = blocks_iter.peek() {
-                    if self.shard_index(next) != idx {
-                        break;
-                    }
-                    blocks_iter.next();
-                    trimmed += shard.trim_block(next);
-                }
-                if trimmed > 0 {
-                    shard.stats.record_action(CacheAction::Trim, trimmed);
-                }
-            }
-        }
-    }
-
-    fn stats(&self) -> CacheStats {
-        let mut aggregate = CacheStats::new();
-        let mut resident = 0u64;
-        for shard in &self.shards {
-            let shard = shard.lock();
-            aggregate.merge(&shard.stats);
-            resident += shard.meta.len() as u64;
-        }
-        aggregate.resident_blocks = resident;
-        aggregate.ssd = Some(self.ssd.stats());
-        aggregate.hdd = Some(self.hdd.stats());
-        aggregate
-    }
-
-    fn now(&self) -> Duration {
-        self.clock.now()
-    }
-
-    fn reset_stats(&self) {
-        for shard in &self.shards {
-            shard.lock().stats = CacheStats::new();
-        }
-        self.ssd.reset_stats();
-        self.hdd.reset_stats();
-    }
-
-    fn resident_blocks(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().meta.len() as u64).sum()
-    }
-}
-
-impl Shard {
-    /// Invalidates one block if resident; returns 1 if it was trimmed.
-    fn trim_block(&mut self, lbn: BlockAddr) -> u64 {
-        let Some(entry) = self.meta.remove(lbn) else {
-            return 0;
-        };
-        self.groups.remove(lbn, entry.priority);
-        if entry.priority == CachePriority(0) {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
-        }
-        self.alloc.release(entry.pbn);
-        1
-    }
-}
+/// The paper's hybrid SSD-over-HDD storage system managed by caching
+/// priorities — the cache engine with the semantic priority policy (its
+/// default). All constructors on [`CacheEngine`] apply.
+pub type HybridCache = CacheEngine;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hstorage_storage::RequestClass;
+    use crate::stats::CacheAction;
+    use crate::system::StorageSystem;
+    use hstorage_storage::{
+        BlockAddr, BlockRange, CachePriority, ClassifiedRequest, IoRequest, PolicyConfig,
+        QosPolicy, RequestClass, TrimCommand,
+    };
 
     fn cache(capacity: u64) -> HybridCache {
         HybridCache::new(PolicyConfig::paper_default(), capacity)

@@ -15,26 +15,38 @@
 //!
 //! All four implement the [`StorageSystem`] trait so the query engine can
 //! drive them interchangeably.
+//!
+//! The hybrid cache itself is split into a policy-agnostic [`engine`]
+//! (shards, allocator, write buffer, batched device submission) and a
+//! pluggable [`policy`] framework: the paper's semantic priority policy is
+//! one [`CachePolicy`] among several ([`policy::LruPolicy`],
+//! [`policy::CflruPolicy`], [`policy::TwoQPolicy`]), selectable via
+//! [`CachePolicyKind`] on [`StorageConfig`] so the same engine can compare
+//! replacement algorithms under identical mechanism.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allocator;
 pub mod config;
+pub mod engine;
 pub mod hybrid;
 pub mod lru;
 pub mod lru_cache;
 pub mod metadata;
 pub mod passthrough;
+pub mod policy;
 pub mod priority_group;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
 pub use config::{StorageConfig, StorageConfigKind};
+pub use engine::CacheEngine;
 pub use hybrid::HybridCache;
 pub use lru_cache::LruCache;
 pub use passthrough::{HddOnly, SsdOnly};
+pub use policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest};
 pub use stats::{CacheAction, CacheStats, ClassCounters};
 pub use system::StorageSystem;
 pub use trace::{Trace, TraceEvent, TraceRecorder};

@@ -146,6 +146,18 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         LruIter {
             list: self,
             cur: self.head,
+            forward: true,
+        }
+    }
+
+    /// Iterates keys from least to most recently used (eviction order) —
+    /// what a policy scans when it searches near the LRU end, e.g. CFLRU's
+    /// clean-first window.
+    pub fn iter_lru(&self) -> impl Iterator<Item = &K> {
+        LruIter {
+            list: self,
+            cur: self.tail,
+            forward: false,
         }
     }
 
@@ -181,6 +193,7 @@ impl<K: Eq + Hash + Clone> LruList<K> {
 struct LruIter<'a, K: Eq + Hash + Clone> {
     list: &'a LruList<K>,
     cur: usize,
+    forward: bool,
 }
 
 impl<'a, K: Eq + Hash + Clone> Iterator for LruIter<'a, K> {
@@ -191,7 +204,7 @@ impl<'a, K: Eq + Hash + Clone> Iterator for LruIter<'a, K> {
             return None;
         }
         let node = &self.list.nodes[self.cur];
-        self.cur = node.next;
+        self.cur = if self.forward { node.next } else { node.prev };
         Some(&node.key)
     }
 }
@@ -272,6 +285,22 @@ mod tests {
         l.touch(&0);
         let order: Vec<i32> = l.iter_mru().copied().collect();
         assert_eq!(order, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn iter_lru_is_the_reverse_of_iter_mru() {
+        let mut l = LruList::new();
+        for i in 0..5 {
+            l.insert_mru(i);
+        }
+        l.touch(&2);
+        let mru: Vec<i32> = l.iter_mru().copied().collect();
+        let mut lru: Vec<i32> = l.iter_lru().copied().collect();
+        lru.reverse();
+        assert_eq!(mru, lru);
+        assert_eq!(l.iter_lru().next(), l.peek_lru());
+        let empty: LruList<i32> = LruList::new();
+        assert_eq!(empty.iter_lru().count(), 0);
     }
 
     #[test]

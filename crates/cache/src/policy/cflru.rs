@@ -1,0 +1,161 @@
+//! Clean-First LRU (CFLRU) behind the [`CachePolicy`] trait.
+//!
+//! CFLRU (Park et al., CASES 2006) is a write-aware refinement of LRU for
+//! flash-backed caches: evicting a *dirty* block costs a write-back to the
+//! second-level device, so the policy first looks for a **clean** victim
+//! within a window at the LRU end of the stack and only falls back to the
+//! plain LRU block (dirty or not) when the whole window is dirty. Recency
+//! handling is otherwise identical to LRU.
+
+use crate::lru::LruList;
+use crate::policy::{CachePolicy, HitOutcome, PolicyRequest};
+use hstorage_storage::{BlockAddr, CachePriority, Direction};
+use std::collections::HashSet;
+
+/// Write-aware LRU: prefers clean victims inside a clean-first window to
+/// save dirty write-backs, trading a slightly worse hit ratio for less
+/// second-level write traffic.
+///
+/// The policy tracks dirtiness from the events it observes — a block is
+/// dirty from the moment it is inserted or hit by a write until it leaves
+/// the cache — which mirrors the engine's clean/dirty metadata exactly
+/// (resident blocks are never cleaned in place).
+pub struct CflruPolicy {
+    stack: LruList<BlockAddr>,
+    dirty: HashSet<BlockAddr>,
+    /// How many blocks from the LRU end are searched for a clean victim
+    /// before falling back to plain LRU.
+    window: usize,
+}
+
+impl CflruPolicy {
+    /// Clean-first window as a fraction of the shard capacity (the
+    /// "window size" parameter of the CFLRU paper; a quarter of the cache
+    /// is a common operating point).
+    const WINDOW_FRACTION: f64 = 0.25;
+
+    /// Creates the policy for a shard of `shard_capacity` slots.
+    pub fn new(shard_capacity: u64) -> Self {
+        let window = ((shard_capacity as f64 * Self::WINDOW_FRACTION).floor() as usize).max(1);
+        CflruPolicy {
+            stack: LruList::new(),
+            dirty: HashSet::new(),
+            window,
+        }
+    }
+
+    /// The clean-first window size in blocks.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl CachePolicy for CflruPolicy {
+    fn on_hit(
+        &mut self,
+        lbn: BlockAddr,
+        _current: CachePriority,
+        req: &PolicyRequest,
+    ) -> HitOutcome {
+        self.stack.touch(&lbn);
+        if req.direction == Direction::Write {
+            self.dirty.insert(lbn);
+        }
+        HitOutcome::Unchanged
+    }
+
+    fn admits(&self, _req: &PolicyRequest) -> bool {
+        true
+    }
+
+    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+        let clean = self
+            .stack
+            .iter_lru()
+            .take(self.window)
+            .find(|lbn| !self.dirty.contains(lbn))
+            .copied();
+        let victim = match clean {
+            Some(lbn) => {
+                self.stack.remove(&lbn);
+                lbn
+            }
+            // Whole window dirty: plain LRU fallback (pays the write-back).
+            None => self.stack.pop_lru()?,
+        };
+        self.dirty.remove(&victim);
+        Some(victim)
+    }
+
+    fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
+        self.stack.insert_mru(lbn);
+        // Every path by which a block leaves the policy also clears its
+        // dirty bit, so an inserted block is clean unless this request
+        // writes it.
+        if req.direction == Direction::Write {
+            self.dirty.insert(lbn);
+        }
+        req.prio
+    }
+
+    fn on_remove(&mut self, lbn: BlockAddr, _group: CachePriority) {
+        self.stack.remove(&lbn);
+        self.dirty.remove(&lbn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::{PolicyConfig, QosPolicy};
+
+    fn req(direction: Direction) -> PolicyRequest {
+        let config = PolicyConfig::paper_default();
+        PolicyRequest {
+            direction,
+            qos: QosPolicy::priority(2),
+            prio: config.resolve(QosPolicy::priority(2)),
+        }
+    }
+
+    #[test]
+    fn prefers_a_clean_victim_over_the_dirty_lru_block() {
+        let mut p = CflruPolicy::new(16); // window = 4
+        assert_eq!(p.window(), 4);
+        p.on_insert(BlockAddr(1), &req(Direction::Write)); // dirty, LRU end
+        p.on_insert(BlockAddr(2), &req(Direction::Read)); // clean
+        p.on_insert(BlockAddr(3), &req(Direction::Read)); // clean
+                                                          // Plain LRU would evict 1; CFLRU skips the dirty block and takes
+                                                          // the oldest clean one inside the window.
+        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(2)));
+    }
+
+    #[test]
+    fn falls_back_to_lru_when_the_window_is_all_dirty() {
+        let mut p = CflruPolicy::new(8); // window = 2
+        p.on_insert(BlockAddr(1), &req(Direction::Write));
+        p.on_insert(BlockAddr(2), &req(Direction::Write));
+        p.on_insert(BlockAddr(3), &req(Direction::Read)); // clean but outside window
+        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(1)));
+    }
+
+    #[test]
+    fn a_write_hit_dirties_a_clean_block() {
+        let mut p = CflruPolicy::new(16);
+        p.on_insert(BlockAddr(1), &req(Direction::Read));
+        p.on_insert(BlockAddr(2), &req(Direction::Read));
+        p.on_hit(BlockAddr(1), CachePriority(2), &req(Direction::Write));
+        // Block 1 is now dirty (and MRU); block 2 is the clean victim.
+        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(2)));
+        // Only the dirty block remains; window exhausted, LRU fallback.
+        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(1)));
+        assert_eq!(p.pop_victim(&req(Direction::Read)), None);
+    }
+
+    #[test]
+    fn window_scales_with_capacity_and_never_hits_zero() {
+        assert_eq!(CflruPolicy::new(0).window(), 1);
+        assert_eq!(CflruPolicy::new(1).window(), 1);
+        assert_eq!(CflruPolicy::new(100).window(), 25);
+    }
+}

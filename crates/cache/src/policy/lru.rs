@@ -1,0 +1,102 @@
+//! Plain least-recently-used replacement behind the [`CachePolicy`] trait.
+
+use crate::lru::LruList;
+use crate::policy::{CachePolicy, HitOutcome, PolicyRequest};
+use hstorage_storage::{BlockAddr, CachePriority};
+
+/// Classification-blind LRU: every miss is admitted, all resident blocks
+/// live in a single recency stack, and the least recently used block is
+/// displaced when space is needed. Semantic information (request class,
+/// QoS policy, priorities) is recorded by the engine for statistics but
+/// never consulted — this is the "classical approach" the paper's
+/// evaluation contrasts against, now selectable inside the same engine.
+#[derive(Default)]
+pub struct LruPolicy {
+    stack: LruList<BlockAddr>,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for LruPolicy {
+    fn on_hit(
+        &mut self,
+        lbn: BlockAddr,
+        _current: CachePriority,
+        _req: &PolicyRequest,
+    ) -> HitOutcome {
+        self.stack.touch(&lbn);
+        HitOutcome::Unchanged
+    }
+
+    fn admits(&self, _req: &PolicyRequest) -> bool {
+        true
+    }
+
+    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+        self.stack.pop_lru()
+    }
+
+    fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
+        self.stack.insert_mru(lbn);
+        // A single stack has no groups; the recorded priority is
+        // informational, mirroring the paper's LRU baseline tables.
+        req.prio
+    }
+
+    fn on_remove(&mut self, lbn: BlockAddr, _group: CachePriority) {
+        self.stack.remove(&lbn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::{Direction, PolicyConfig, QosPolicy};
+
+    fn req(qos: QosPolicy) -> PolicyRequest {
+        let config = PolicyConfig::paper_default();
+        PolicyRequest {
+            direction: Direction::Read,
+            qos,
+            prio: config.resolve(qos),
+        }
+    }
+
+    #[test]
+    fn admits_everything_including_scans() {
+        let p = LruPolicy::new();
+        assert!(p.admits(&req(QosPolicy::NonCachingNonEviction)));
+        assert!(p.admits(&req(QosPolicy::NonCachingEviction)));
+        assert!(p.admits(&req(QosPolicy::priority(7))));
+    }
+
+    #[test]
+    fn evicts_in_recency_order_regardless_of_priority() {
+        let mut p = LruPolicy::new();
+        let high = req(QosPolicy::priority(1));
+        let low = req(QosPolicy::priority(5));
+        p.on_insert(BlockAddr(1), &high);
+        p.on_insert(BlockAddr(2), &low);
+        p.on_insert(BlockAddr(3), &high);
+        // Touch the oldest: it becomes MRU.
+        p.on_hit(BlockAddr(1), CachePriority(1), &low);
+        assert_eq!(p.pop_victim(&high), Some(BlockAddr(2)));
+        assert_eq!(p.pop_victim(&high), Some(BlockAddr(3)));
+        assert_eq!(p.pop_victim(&high), Some(BlockAddr(1)));
+        assert_eq!(p.pop_victim(&high), None);
+    }
+
+    #[test]
+    fn remove_untracks_a_block() {
+        let mut p = LruPolicy::new();
+        let r = req(QosPolicy::priority(2));
+        p.on_insert(BlockAddr(9), &r);
+        p.on_remove(BlockAddr(9), CachePriority(2));
+        assert_eq!(p.pop_victim(&r), None);
+    }
+}

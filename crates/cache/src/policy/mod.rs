@@ -1,0 +1,310 @@
+//! The pluggable cache-policy framework.
+//!
+//! The hybrid cache is split into a policy-agnostic *engine*
+//! ([`crate::engine::CacheEngine`]) and a [`CachePolicy`] that owns every
+//! *decision* the engine must make per block: whether a missing block may
+//! be admitted, which resident block to displace when the cache is full,
+//! and how a hit changes the block's standing. The engine keeps the
+//! mechanism — shards, slot allocation, metadata, write-buffer accounting,
+//! statistics and batched device submission — so one engine serves any
+//! replacement algorithm.
+//!
+//! Shipped policies:
+//!
+//! * [`SemanticPriorityPolicy`] — the paper's selective allocation /
+//!   selective eviction over per-priority LRU groups (the default),
+//! * [`LruPolicy`] — a single classification-blind LRU stack,
+//! * [`CflruPolicy`] — clean-first LRU: prefers evicting clean blocks to
+//!   save write-backs,
+//! * [`TwoQPolicy`] — scan-resistant 2Q with a probationary FIFO and a
+//!   ghost list.
+//!
+//! A policy instance is **per shard**: the engine builds one via
+//! [`CachePolicyKind::build`] (or a custom factory) for each of its lock
+//! stripes, so implementations need no internal synchronisation.
+
+mod cflru;
+mod lru;
+mod semantic;
+mod two_q;
+
+pub use cflru::CflruPolicy;
+pub use lru::LruPolicy;
+pub use semantic::SemanticPriorityPolicy;
+pub use two_q::TwoQPolicy;
+
+use hstorage_storage::{BlockAddr, CachePriority, Direction, PolicyConfig, QosPolicy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The per-block view of a request that a policy decides on: the I/O
+/// direction, the QoS policy the request carries, and the caching priority
+/// it resolves to under the active [`PolicyConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyRequest {
+    /// Read or write.
+    pub direction: Direction,
+    /// The QoS policy attached to the request by the DBMS storage manager.
+    pub qos: QosPolicy,
+    /// The priority the QoS policy resolves to (write buffer = 0).
+    pub prio: CachePriority,
+}
+
+/// What a hit did to the block's residency bookkeeping, which the engine
+/// must mirror in its metadata and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitOutcome {
+    /// The block stayed in its group (possibly refreshed in recency).
+    Unchanged,
+    /// The block moved to a new priority group: the engine updates the
+    /// metadata label, the write-buffer accounting and records a
+    /// re-allocation.
+    Moved(CachePriority),
+}
+
+/// A cache-replacement algorithm: the decision half of the hybrid cache.
+///
+/// The engine calls exactly one method per block event and mirrors the
+/// outcome in its own metadata; the policy maintains whatever ordering
+/// structures it needs (LRU lists, FIFO queues, ghost lists) and must keep
+/// them consistent with the engine's resident set:
+///
+/// * every block passed to [`CachePolicy::on_insert`] is tracked until the
+///   policy itself returns it from [`CachePolicy::pop_victim`] /
+///   [`CachePolicy::drain_write_buffer`], or the engine announces its
+///   removal via [`CachePolicy::on_remove`] (TRIM);
+/// * [`CachePolicy::pop_victim`] must only ever return *tracked* blocks.
+///
+/// # Worked example: a custom FIFO policy
+///
+/// A policy that evicts in plain insertion order — no recency, no
+/// semantics — plugs into the engine through
+/// [`CacheEngine::with_policy_factory`](crate::engine::CacheEngine::with_policy_factory):
+///
+/// ```
+/// use hstorage_cache::policy::{CachePolicy, HitOutcome, PolicyRequest};
+/// use hstorage_cache::{CacheEngine, StorageSystem};
+/// use hstorage_storage::{
+///     BlockAddr, BlockRange, CachePriority, ClassifiedRequest, IoRequest, PolicyConfig,
+///     QosPolicy, RequestClass,
+/// };
+/// use std::collections::VecDeque;
+///
+/// #[derive(Default)]
+/// struct FifoPolicy {
+///     queue: VecDeque<BlockAddr>,
+/// }
+///
+/// impl CachePolicy for FifoPolicy {
+///     fn on_hit(
+///         &mut self,
+///         _lbn: BlockAddr,
+///         _current: CachePriority,
+///         _req: &PolicyRequest,
+///     ) -> HitOutcome {
+///         HitOutcome::Unchanged // FIFO ignores recency entirely
+///     }
+///
+///     fn admits(&self, _req: &PolicyRequest) -> bool {
+///         true // admit everything, like the classical baselines
+///     }
+///
+///     fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+///         self.queue.pop_front()
+///     }
+///
+///     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
+///         self.queue.push_back(lbn);
+///         req.prio // recorded in the metadata, informational for FIFO
+///     }
+///
+///     fn on_remove(&mut self, lbn: BlockAddr, _group: CachePriority) {
+///         self.queue.retain(|&b| b != lbn);
+///     }
+/// }
+///
+/// // A two-slot FIFO cache: the third insert evicts the *first* block,
+/// // even though it was touched more recently than the second.
+/// let engine = CacheEngine::new(PolicyConfig::paper_default(), 2)
+///     .with_policy_factory("fifo", |_shard_capacity| Box::<FifoPolicy>::default());
+/// let read = |lbn: u64| {
+///     ClassifiedRequest::new(
+///         IoRequest::read(BlockRange::new(lbn, 1), false),
+///         RequestClass::Random,
+///         QosPolicy::priority(2),
+///     )
+/// };
+/// engine.submit(read(10));
+/// engine.submit(read(11));
+/// engine.submit(read(10)); // hit — FIFO order unchanged
+/// engine.submit(read(12)); // full: evicts block 10, the oldest insert
+/// assert_eq!(engine.name(), "fifo");
+/// assert!(!engine.contains_block(BlockAddr(10)));
+/// assert!(engine.contains_block(BlockAddr(11)));
+/// assert!(engine.contains_block(BlockAddr(12)));
+/// ```
+pub trait CachePolicy: Send {
+    /// Called when `lbn` (tracked, currently labelled `current`) is hit.
+    /// The policy refreshes its internal ordering and reports whether the
+    /// block moved to a different group.
+    fn on_hit(&mut self, lbn: BlockAddr, current: CachePriority, req: &PolicyRequest)
+        -> HitOutcome;
+
+    /// Whether a block missing from the cache may be admitted at all under
+    /// this request. Returning `false` bypasses the cache (the transfer
+    /// goes straight to the second-level device).
+    fn admits(&self, req: &PolicyRequest) -> bool;
+
+    /// The shard is full and `req` was admitted: remove and return the
+    /// block to displace, or `None` if the incoming block is not worth a
+    /// resident one (the request then bypasses the cache).
+    fn pop_victim(&mut self, req: &PolicyRequest) -> Option<BlockAddr>;
+
+    /// `lbn` was just allocated a slot: start tracking it. The returned
+    /// priority is recorded as the block's group label in the engine's
+    /// metadata (and handed back via `current` on later events).
+    fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority;
+
+    /// `lbn` (labelled `group`) was removed by the engine for a reason the
+    /// policy did not initiate (TRIM invalidation): stop tracking it.
+    fn on_remove(&mut self, lbn: BlockAddr, group: CachePriority);
+
+    /// A TRIM invalidated `lbn` while it was **not** resident. The block's
+    /// lifetime has ended and its address may be re-used for unrelated
+    /// data, so policies that keep history about non-resident addresses
+    /// (e.g. 2Q's ghost list) must forget it. Most policies keep no such
+    /// history; the default does nothing.
+    fn on_trim_absent(&mut self, lbn: BlockAddr) {
+        let _ = lbn;
+    }
+
+    /// Whether blocks labelled `group` occupy the engine's write buffer.
+    /// Only the semantic policy buffers writes; the baselines treat
+    /// buffered updates as ordinary cached writes.
+    ///
+    /// The engine's write-buffer mechanism (occupancy limit, flush
+    /// trigger, batch run-splitting) is keyed to **group 0** — the
+    /// priority that `WriteBuffer` requests resolve to. A policy may
+    /// therefore only ever return `true` for `CachePriority(0)`; the
+    /// engine asserts this when the policy is installed.
+    fn write_buffered(&self, group: CachePriority) -> bool {
+        let _ = group;
+        false
+    }
+
+    /// Remove and return every write-buffered block (called by the engine
+    /// when the buffer exceeds its share of the cache). Policies without a
+    /// write buffer return nothing.
+    fn drain_write_buffer(&mut self) -> Vec<BlockAddr> {
+        Vec::new()
+    }
+}
+
+/// Which [`CachePolicy`] the cache engine runs — the configuration-level
+/// selector threaded from `StorageConfig` / `SystemConfig` down to the
+/// engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePolicyKind {
+    /// The paper's semantic, priority-driven policy (selective allocation
+    /// and eviction). The default.
+    #[default]
+    SemanticPriority,
+    /// Classification-blind single-stack LRU.
+    Lru,
+    /// Clean-first LRU: prefers clean victims within a window of the LRU
+    /// end to save dirty write-backs.
+    Cflru,
+    /// Scan-resistant 2Q: probationary FIFO + ghost list + main LRU.
+    TwoQ,
+}
+
+impl CachePolicyKind {
+    /// All selectable policies, semantic first.
+    pub fn all() -> [CachePolicyKind; 4] {
+        [
+            CachePolicyKind::SemanticPriority,
+            CachePolicyKind::Lru,
+            CachePolicyKind::Cflru,
+            CachePolicyKind::TwoQ,
+        ]
+    }
+
+    /// Short lower-case label for reports and bench IDs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CachePolicyKind::SemanticPriority => "semantic-priority",
+            CachePolicyKind::Lru => "lru",
+            CachePolicyKind::Cflru => "cflru",
+            CachePolicyKind::TwoQ => "2q",
+        }
+    }
+
+    /// The storage-system display name of an engine running this policy.
+    /// The semantic default keeps the paper's "hStorage-DB" label.
+    pub fn system_name(&self) -> &'static str {
+        match self {
+            CachePolicyKind::SemanticPriority => "hStorage-DB",
+            CachePolicyKind::Lru => "hybrid-lru",
+            CachePolicyKind::Cflru => "hybrid-cflru",
+            CachePolicyKind::TwoQ => "hybrid-2q",
+        }
+    }
+
+    /// Builds one per-shard policy instance for a shard managing
+    /// `shard_capacity` cache slots.
+    pub fn build(&self, config: &PolicyConfig, shard_capacity: u64) -> Box<dyn CachePolicy> {
+        match self {
+            CachePolicyKind::SemanticPriority => Box::new(SemanticPriorityPolicy::new(*config)),
+            CachePolicyKind::Lru => Box::new(LruPolicy::new()),
+            CachePolicyKind::Cflru => Box::new(CflruPolicy::new(shard_capacity)),
+            CachePolicyKind::TwoQ => Box::new(TwoQPolicy::new(shard_capacity)),
+        }
+    }
+}
+
+impl fmt::Display for CachePolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_names_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            CachePolicyKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 4);
+        let names: std::collections::HashSet<_> = CachePolicyKind::all()
+            .iter()
+            .map(|k| k.system_name())
+            .collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn default_is_the_paper_policy() {
+        assert_eq!(
+            CachePolicyKind::default(),
+            CachePolicyKind::SemanticPriority
+        );
+        assert_eq!(CachePolicyKind::default().system_name(), "hStorage-DB");
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        let config = PolicyConfig::paper_default();
+        for kind in CachePolicyKind::all() {
+            let policy = kind.build(&config, 64);
+            // Every freshly built policy admits a plain random read.
+            let req = PolicyRequest {
+                direction: Direction::Read,
+                qos: QosPolicy::priority(2),
+                prio: CachePriority(2),
+            };
+            assert!(policy.admits(&req), "{kind}");
+        }
+    }
+}

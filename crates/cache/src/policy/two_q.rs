@@ -1,0 +1,234 @@
+//! Scan-resistant 2Q replacement behind the [`CachePolicy`] trait.
+//!
+//! 2Q (Johnson & Shasha, VLDB 1994) splits residency into a small
+//! probationary FIFO (`A1in`) and a main LRU (`Am`), with a ghost list of
+//! recently evicted addresses (`A1out`). A first-time block only enters
+//! `A1in`; it is promoted to `Am` when it is re-referenced *after* leaving
+//! `A1in` — i.e. its address is found on the ghost list. One-shot scan
+//! traffic therefore churns through the small probationary queue without
+//! ever displacing the hot working set in `Am`.
+
+use crate::lru::LruList;
+use crate::policy::{CachePolicy, HitOutcome, PolicyRequest};
+use hstorage_storage::{BlockAddr, CachePriority};
+
+/// The classic "full version" 2Q with FIFO `A1in`, ghost `A1out` and LRU
+/// `Am`, sized by the paper's recommended fractions of the shard capacity
+/// (`Kin` = 25%, `Kout` = 50%).
+pub struct TwoQPolicy {
+    /// Probationary FIFO of resident first-time blocks.
+    a1in: LruList<BlockAddr>,
+    /// Ghost FIFO of addresses recently evicted from `A1in` (not
+    /// resident; holds no cache space).
+    a1out: LruList<BlockAddr>,
+    /// Main LRU of re-referenced (hot) resident blocks.
+    am: LruList<BlockAddr>,
+    /// Target size of `A1in` in blocks.
+    kin: usize,
+    /// Capacity of the ghost list in addresses.
+    kout: usize,
+}
+
+impl TwoQPolicy {
+    /// `Kin` as a fraction of the shard capacity (2Q paper: 25%).
+    const KIN_FRACTION: f64 = 0.25;
+    /// `Kout` as a fraction of the shard capacity (2Q paper: 50%).
+    const KOUT_FRACTION: f64 = 0.50;
+
+    /// Creates the policy for a shard of `shard_capacity` slots.
+    pub fn new(shard_capacity: u64) -> Self {
+        TwoQPolicy {
+            a1in: LruList::new(),
+            a1out: LruList::new(),
+            am: LruList::new(),
+            kin: ((shard_capacity as f64 * Self::KIN_FRACTION).floor() as usize).max(1),
+            kout: ((shard_capacity as f64 * Self::KOUT_FRACTION).floor() as usize).max(1),
+        }
+    }
+
+    /// Probationary queue target size.
+    pub fn kin(&self) -> usize {
+        self.kin
+    }
+
+    /// Ghost list capacity.
+    pub fn kout(&self) -> usize {
+        self.kout
+    }
+
+    /// Number of ghost addresses currently remembered.
+    pub fn ghost_len(&self) -> usize {
+        self.a1out.len()
+    }
+
+    /// Records `lbn` on the ghost list, aging out the oldest ghost if the
+    /// list is full.
+    fn remember_ghost(&mut self, lbn: BlockAddr) {
+        self.a1out.insert_mru(lbn);
+        while self.a1out.len() > self.kout {
+            self.a1out.pop_lru();
+        }
+    }
+}
+
+impl CachePolicy for TwoQPolicy {
+    fn on_hit(
+        &mut self,
+        lbn: BlockAddr,
+        _current: CachePriority,
+        _req: &PolicyRequest,
+    ) -> HitOutcome {
+        // `touch` is a no-op for keys Am does not hold. A hit in A1in
+        // deliberately does nothing: the queue is FIFO, so correlated
+        // re-references within the probation window do not count as reuse
+        // (that is 2Q's scan resistance).
+        self.am.touch(&lbn);
+        HitOutcome::Unchanged
+    }
+
+    fn admits(&self, _req: &PolicyRequest) -> bool {
+        true
+    }
+
+    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+        // Reclaim from the probationary queue while it is over target;
+        // its victims are remembered on the ghost list. Otherwise evict
+        // the LRU block of Am (forgotten entirely).
+        if self.a1in.len() >= self.kin {
+            if let Some(victim) = self.a1in.pop_lru() {
+                self.remember_ghost(victim);
+                return Some(victim);
+            }
+        }
+        if let Some(victim) = self.am.pop_lru() {
+            return Some(victim);
+        }
+        // Am empty (e.g. tiny shard): fall back to whatever A1in holds.
+        let victim = self.a1in.pop_lru()?;
+        self.remember_ghost(victim);
+        Some(victim)
+    }
+
+    fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
+        if self.a1out.remove(&lbn) {
+            // Re-reference after probation: the block is hot.
+            self.am.insert_mru(lbn);
+        } else {
+            self.a1in.insert_mru(lbn);
+        }
+        req.prio
+    }
+
+    fn on_remove(&mut self, lbn: BlockAddr, _group: CachePriority) {
+        if !self.a1in.remove(&lbn) {
+            self.am.remove(&lbn);
+        }
+    }
+
+    fn on_trim_absent(&mut self, lbn: BlockAddr) {
+        // The lifetime of a previously evicted block ended: without this,
+        // a later re-use of the address would find the stale ghost and be
+        // falsely promoted to Am on first touch.
+        self.a1out.remove(&lbn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hstorage_storage::{Direction, PolicyConfig, QosPolicy};
+
+    fn req() -> PolicyRequest {
+        let config = PolicyConfig::paper_default();
+        PolicyRequest {
+            direction: Direction::Read,
+            qos: QosPolicy::priority(2),
+            prio: config.resolve(QosPolicy::priority(2)),
+        }
+    }
+
+    #[test]
+    fn first_time_blocks_are_probationary_and_evict_fifo() {
+        let mut p = TwoQPolicy::new(4); // kin = 1, kout = 2
+        p.on_insert(BlockAddr(1), &req());
+        p.on_insert(BlockAddr(2), &req());
+        // Hits in A1in do not reorder the FIFO.
+        p.on_hit(BlockAddr(1), CachePriority(2), &req());
+        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(1)));
+        assert_eq!(p.ghost_len(), 1);
+    }
+
+    #[test]
+    fn ghost_re_reference_promotes_to_the_main_queue() {
+        let mut p = TwoQPolicy::new(4);
+        p.on_insert(BlockAddr(1), &req());
+        let evicted = p.pop_victim(&req()).unwrap();
+        assert_eq!(evicted, BlockAddr(1));
+        // The address is remembered; re-inserting it lands in Am.
+        p.on_insert(BlockAddr(1), &req());
+        p.on_insert(BlockAddr(2), &req()); // probationary
+        p.on_insert(BlockAddr(3), &req()); // probationary, A1in over target
+                                           // Victims come from the probationary queue, not the hot block.
+        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(2)));
+        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(3)));
+        // Only when probation is empty does Am give up its LRU block.
+        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(1)));
+        assert_eq!(p.pop_victim(&req()), None);
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let mut p = TwoQPolicy::new(4); // kout = 2
+        for i in 0..10u64 {
+            p.on_insert(BlockAddr(i), &req());
+            p.pop_victim(&req());
+        }
+        assert!(p.ghost_len() <= p.kout());
+    }
+
+    #[test]
+    fn scan_does_not_displace_the_hot_set() {
+        let mut p = TwoQPolicy::new(8); // kin = 2
+                                        // Establish a hot block in Am via ghost promotion.
+        p.on_insert(BlockAddr(100), &req());
+        while p.pop_victim(&req()).is_some() {}
+        p.on_insert(BlockAddr(100), &req());
+        // A long one-shot scan churns through probation only.
+        for i in 0..50u64 {
+            p.on_insert(BlockAddr(i), &req());
+            if i >= 2 {
+                let victim = p.pop_victim(&req()).unwrap();
+                assert_ne!(victim, BlockAddr(100), "hot block must survive the scan");
+            }
+        }
+    }
+
+    #[test]
+    fn trim_forgets_a_resident_block() {
+        let mut p = TwoQPolicy::new(4);
+        p.on_insert(BlockAddr(1), &req());
+        p.pop_victim(&req()); // 1 is now a ghost
+        p.on_insert(BlockAddr(1), &req()); // promoted to Am
+        p.on_remove(BlockAddr(1), CachePriority(2));
+        assert_eq!(p.pop_victim(&req()), None);
+    }
+
+    #[test]
+    fn trim_of_an_absent_block_forgets_its_ghost() {
+        let mut p = TwoQPolicy::new(4);
+        p.on_insert(BlockAddr(1), &req());
+        p.pop_victim(&req()); // 1 is evicted and remembered as a ghost
+        assert_eq!(p.ghost_len(), 1);
+        // The block's lifetime ends (TRIM) while it is not resident.
+        p.on_trim_absent(BlockAddr(1));
+        assert_eq!(p.ghost_len(), 0);
+        // Re-using the address is a first touch again: probation, not Am.
+        p.on_insert(BlockAddr(1), &req());
+        p.on_insert(BlockAddr(2), &req());
+        assert_eq!(
+            p.pop_victim(&req()),
+            Some(BlockAddr(1)),
+            "1 is probationary again"
+        );
+    }
+}

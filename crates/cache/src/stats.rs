@@ -220,6 +220,96 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_empty_snapshots_is_empty() {
+        let mut a = CacheStats::new();
+        a.merge(&CacheStats::new());
+        assert_eq!(a, CacheStats::new());
+    }
+
+    #[test]
+    fn merge_into_empty_copies_cache_level_state() {
+        // Aggregating a single shard must reproduce its cache-level
+        // counters exactly — the N=1 case of the sharded stats read path.
+        let mut shard = CacheStats::new();
+        shard.record_class(RequestClass::Update, 42, 7);
+        shard.record_priority(0, 42, 7);
+        shard.record_action(CacheAction::WriteBufferFlush, 11);
+        shard.resident_blocks = 3;
+
+        let mut aggregate = CacheStats::new();
+        aggregate.merge(&shard);
+        assert_eq!(aggregate, shard);
+    }
+
+    #[test]
+    fn merge_with_empty_other_is_identity() {
+        let mut a = CacheStats::new();
+        a.record_class(RequestClass::Random, 10, 4);
+        a.record_action(CacheAction::Eviction, 2);
+        a.resident_blocks = 5;
+        let before = a.clone();
+        a.merge(&CacheStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_handles_asymmetric_shards() {
+        // Shards only record what they saw: counters present on one side
+        // and absent on the other must survive the merge in both
+        // directions.
+        let mut a = CacheStats::new();
+        a.record_class(RequestClass::Random, 100, 40);
+        a.record_priority(2, 100, 40);
+        a.record_action(CacheAction::ReadAllocation, 60);
+
+        let mut b = CacheStats::new();
+        b.record_class(RequestClass::TemporaryData, 30, 30);
+        b.record_priority(1, 30, 30);
+        b.record_action(CacheAction::Trim, 30);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Merge is commutative on cache-level state.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.class(RequestClass::Random).accessed_blocks, 100);
+        assert_eq!(ab.class(RequestClass::TemporaryData).cache_hits, 30);
+        assert_eq!(ab.priority(1).accessed_blocks, 30);
+        assert_eq!(ab.priority(2).cache_hits, 40);
+        assert_eq!(ab.action(CacheAction::ReadAllocation), 60);
+        assert_eq!(ab.action(CacheAction::Trim), 30);
+        assert_eq!(ab.totals().accessed_blocks, 130);
+    }
+
+    #[test]
+    fn merge_never_touches_device_stats() {
+        // Shards share one device pair, so per-shard snapshots must not
+        // contribute device stats: the caller attaches them once on the
+        // aggregate.
+        let mut other = CacheStats::new();
+        other.ssd = Some(hstorage_storage::DeviceStats {
+            blocks_read: 999,
+            ..Default::default()
+        });
+        other.hdd = Some(hstorage_storage::DeviceStats::default());
+
+        let mut aggregate = CacheStats::new();
+        aggregate.merge(&other);
+        assert_eq!(aggregate.ssd, None);
+        assert_eq!(aggregate.hdd, None);
+
+        // And an aggregate that already has device stats keeps its own.
+        let mine = hstorage_storage::DeviceStats {
+            blocks_written: 5,
+            ..Default::default()
+        };
+        aggregate.ssd = Some(mine.clone());
+        aggregate.merge(&other);
+        assert_eq!(aggregate.ssd, Some(mine));
+    }
+
+    #[test]
     fn actions_accumulate() {
         let mut s = CacheStats::new();
         s.record_action(CacheAction::Eviction, 5);

@@ -1,6 +1,6 @@
 //! The query executor.
 //!
-//! The executor turns a compiled [`RequestProgram`](crate::program::RequestProgram)
+//! The executor turns a compiled [`RequestProgram`]
 //! into classified I/O against a [`StorageSystem`], going through the DBMS
 //! buffer pool first and assigning a QoS policy to every request via the
 //! policy assignment table at issue time.

@@ -1,7 +1,7 @@
 //! System configuration: which storage configuration to run, at what scale,
 //! with which cache / buffer-pool sizes.
 
-use hstorage_cache::{StorageConfig, StorageConfigKind};
+use hstorage_cache::{CachePolicyKind, StorageConfig, StorageConfigKind};
 use hstorage_engine::ExecutorConfig;
 use hstorage_storage::PolicyConfig;
 use hstorage_tpch::TpchScale;
@@ -31,6 +31,12 @@ pub struct SystemConfig {
     /// transfer when the executor submits a scan batch. 1 (the default)
     /// disables merging — the paper-exact setting.
     pub storage_queue_depth: usize,
+    /// Replacement policy of the hStorage-DB cache engine. The default
+    /// (semantic priority) is the paper's policy; the other kinds run the
+    /// same engine behind a classical baseline, which is how the
+    /// policy-comparison experiment isolates the value of semantic
+    /// information. Ignored by the non-engine storage kinds.
+    pub cache_policy: CachePolicyKind,
 }
 
 impl SystemConfig {
@@ -54,6 +60,7 @@ impl SystemConfig {
             executor,
             storage_shards: 1,
             storage_queue_depth: 1,
+            cache_policy: CachePolicyKind::default(),
         }
     }
 
@@ -75,6 +82,7 @@ impl SystemConfig {
             executor,
             storage_shards: 1,
             storage_queue_depth: 1,
+            cache_policy: CachePolicyKind::default(),
         }
     }
 
@@ -103,6 +111,13 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the cache engine's replacement policy (e.g. for the
+    /// policy-comparison experiment).
+    pub fn with_cache_policy(mut self, cache_policy: CachePolicyKind) -> Self {
+        self.cache_policy = cache_policy;
+        self
+    }
+
     /// Overrides the executor's scan-batch size (number of sequential
     /// requests vectored into one `submit_batch` call).
     pub fn with_io_batch_size(mut self, io_batch_size: usize) -> Self {
@@ -116,6 +131,7 @@ impl SystemConfig {
             .with_policy(self.policy)
             .with_shards(self.storage_shards)
             .with_queue_depth(self.storage_queue_depth)
+            .with_cache_policy(self.cache_policy)
     }
 }
 
@@ -155,5 +171,20 @@ mod tests {
         let batched = sharded.with_storage_queue_depth(32).with_io_batch_size(64);
         assert_eq!(batched.storage_config().queue_depth, 32);
         assert_eq!(batched.executor.io_batch_size, 64);
+        let swapped = batched.with_cache_policy(CachePolicyKind::Cflru);
+        assert_eq!(
+            swapped.storage_config().cache_policy,
+            CachePolicyKind::Cflru
+        );
+    }
+
+    #[test]
+    fn cache_policy_defaults_to_semantic_priority() {
+        let cfg = SystemConfig::single_query(TpchScale::new(0.05), StorageConfigKind::HStorageDb);
+        assert_eq!(cfg.cache_policy, CachePolicyKind::SemanticPriority);
+        assert_eq!(
+            cfg.storage_config().cache_policy,
+            CachePolicyKind::SemanticPriority
+        );
     }
 }

@@ -91,7 +91,7 @@ impl TpchSystem {
     /// stream — against the shared storage system. All streams share the
     /// system's concurrency registry (Rule 5); each gets its own buffer
     /// pool and catalog snapshot. See
-    /// [`run_threaded`](hstorage_engine::run_threaded) for the determinism
+    /// [`run_threaded`] for the determinism
     /// trade-off versus [`TpchSystem::run_streams`].
     pub fn run_streams_threaded(
         &mut self,

@@ -3,8 +3,8 @@
 //! Tables are laid out contiguously (largest first, as dbgen loads them),
 //! followed by the nine indexes of Table 3 and a region reserved for
 //! temporary files. Every object is registered in an engine
-//! [`Catalog`](hstorage_engine::Catalog) so that query plans can reference
-//! it by [`ObjectId`](hstorage_engine::ObjectId).
+//! [`Catalog`] so that query plans can reference
+//! it by [`ObjectId`].
 
 use crate::scale::TpchScale;
 use crate::schema::{TpchIndex, TpchTable};

@@ -9,7 +9,9 @@
 //! totals (the logical traffic) are preserved while request counts shrink
 //! and service time drops.
 
-use hstorage_cache::{CacheStats, StorageConfig, StorageConfigKind, StorageSystem};
+use hstorage_cache::{
+    CachePolicyKind, CacheStats, StorageConfig, StorageConfigKind, StorageSystem,
+};
 use hstorage_storage::{BlockRange, ClassifiedRequest, IoRequest, QosPolicy, RequestClass};
 use proptest::prelude::*;
 
@@ -90,9 +92,13 @@ fn deterministic_trace() -> Vec<ClassifiedRequest> {
     reqs
 }
 
-/// The four storage configurations, plus the sharded hybrid variant.
+/// The four storage configurations, the sharded hybrid variant, and the
+/// cache engine under each non-default replacement policy (plus one
+/// sharded policy variant) — every policy must satisfy the same
+/// batch-vs-sequential contract as the semantic default.
 fn configurations() -> Vec<(&'static str, StorageConfig)> {
     let base = |kind| StorageConfig::new(kind, 4_096);
+    let engine = |policy| base(StorageConfigKind::HStorageDb).with_cache_policy(policy);
     vec![
         ("hdd-only", base(StorageConfigKind::HddOnly)),
         ("ssd-only", base(StorageConfigKind::SsdOnly)),
@@ -101,6 +107,13 @@ fn configurations() -> Vec<(&'static str, StorageConfig)> {
         (
             "hybrid-sharded",
             base(StorageConfigKind::HStorageDb).with_shards(8),
+        ),
+        ("engine-lru", engine(CachePolicyKind::Lru)),
+        ("engine-cflru", engine(CachePolicyKind::Cflru)),
+        ("engine-2q", engine(CachePolicyKind::TwoQ)),
+        (
+            "engine-2q-sharded",
+            engine(CachePolicyKind::TwoQ).with_shards(8),
         ),
     ]
 }

@@ -2,7 +2,9 @@
 //! equivalence of the hybrid cache, and agreement between the threaded
 //! driver, the deterministic slicer and plain single-query execution.
 
-use hstorage_cache::{CacheStats, HybridCache, StorageConfig, StorageConfigKind, StorageSystem};
+use hstorage_cache::{
+    CachePolicyKind, CacheStats, HybridCache, StorageConfig, StorageConfigKind, StorageSystem,
+};
 use hstorage_engine::{
     run_concurrent, run_threaded, Access, Catalog, ConcurrencyRegistry, ExecutorConfig, ObjectKind,
     OperatorKind, PlanNode, PlanTree, QueryExecutor, StreamSpec,
@@ -142,6 +144,63 @@ fn sharded_and_unsharded_caches_agree_on_a_deterministic_trace() {
     assert!(s1.action(hstorage_cache::CacheAction::WriteAllocation) > 0);
 }
 
+#[test]
+fn sharded_and_unsharded_engines_agree_under_every_policy() {
+    // The same contract as the semantic default: as long as the working
+    // set fits every shard's capacity slice, lock striping is
+    // observationally invisible no matter which replacement policy drives
+    // the engine.
+    let events = deterministic_trace();
+    for kind in CachePolicyKind::all() {
+        let unsharded =
+            HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
+        let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
+            .with_cache_policy(kind);
+        let s1 = replay_on(&unsharded, &events);
+        let s8 = replay_on(&sharded, &events);
+        assert_eq!(s1, s8, "{kind}");
+        assert_eq!(
+            unsharded.resident_blocks(),
+            sharded.resident_blocks(),
+            "{kind}"
+        );
+        assert!(s1.totals().cache_hits > 0, "{kind}");
+    }
+}
+
+#[test]
+fn concurrent_threads_are_fully_accounted_under_every_policy() {
+    // Four threads on disjoint address ranges: every policy must account
+    // every access exactly once through the lock-striped engine.
+    for kind in CachePolicyKind::all() {
+        let cache = HybridCache::with_shard_count(PolicyConfig::paper_default(), 8_192, 8)
+            .with_cache_policy(kind);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        cache.submit(ClassifiedRequest::new(
+                            IoRequest::read(BlockRange::new(t * 100_000 + i, 1), false),
+                            RequestClass::Random,
+                            QosPolicy::priority(2 + (i % 5) as u8),
+                        ));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.class(RequestClass::Random).accessed_blocks,
+            4_000,
+            "{kind}"
+        );
+        // Disjoint addresses, ample capacity: every block was admitted
+        // (the semantic policy bypasses nothing at these priorities).
+        assert_eq!(cache.resident_blocks(), 4_000, "{kind}");
+    }
+}
+
 /// An arbitrary request whose address space stays far below the per-shard
 /// capacity slice, so sharded and unsharded runs never diverge through
 /// shard-local eviction. Write-buffer requests are exercised by the
@@ -193,6 +252,26 @@ proptest! {
         }
         prop_assert_eq!(unsharded.stats(), sharded.stats());
         prop_assert_eq!(unsharded.resident_blocks(), sharded.resident_blocks());
+    }
+
+    /// The same striping-invisibility property holds for the engine under
+    /// every non-default replacement policy.
+    #[test]
+    fn sharded_engine_equivalence_holds_for_every_policy(
+        requests in prop::collection::vec(arb_bounded_request(), 1..100),
+    ) {
+        for kind in [CachePolicyKind::Lru, CachePolicyKind::Cflru, CachePolicyKind::TwoQ] {
+            let unsharded =
+                HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
+            let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
+                .with_cache_policy(kind);
+            for req in &requests {
+                unsharded.submit(*req);
+                sharded.submit(*req);
+            }
+            prop_assert_eq!(unsharded.stats(), sharded.stats(), "{}", kind);
+            prop_assert_eq!(unsharded.resident_blocks(), sharded.resident_blocks());
+        }
     }
 }
 
