@@ -49,5 +49,58 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// Knob sweep over the tunable policies: the same mixed workload under
+/// off-default CFLRU windows and 2Q `Kin`/`Kout` fractions, so the
+/// wall-clock cost of a knob (a wider clean-first scan, a larger ghost
+/// directory) is visible next to the defaults above. The *simulated*
+/// effect of the same knobs at the query level is what the
+/// `policy_ablation` experiment reports.
+fn bench_policy_knobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_knob_sweep");
+    group.throughput(Throughput::Elements(TOTAL_SUBMITS));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let variants = [
+        ("cflru-window5", CachePolicyKind::Cflru { window_pct: 5 }),
+        ("cflru-window75", CachePolicyKind::Cflru { window_pct: 75 }),
+        (
+            "2q-kin10",
+            CachePolicyKind::TwoQ {
+                kin_pct: 10,
+                kout_pct: 50,
+            },
+        ),
+        (
+            "2q-kin50",
+            CachePolicyKind::TwoQ {
+                kin_pct: 50,
+                kout_pct: 50,
+            },
+        ),
+        (
+            "2q-kout150",
+            CachePolicyKind::TwoQ {
+                kin_pct: 25,
+                kout_pct: 150,
+            },
+        ),
+    ];
+    for (label, kind) in variants {
+        group.bench_function(BenchmarkId::new(label, 64), |b| {
+            b.iter(|| {
+                black_box(drive(
+                    &fresh_policy_cache(kind, QUEUE_DEPTH),
+                    64,
+                    mixed_request,
+                ))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_policy_knobs);
 criterion_main!(benches);

@@ -15,9 +15,11 @@
 //! * `sim:` rows are measured in *simulated* device time, which is
 //!   deterministic — identical on every machine — so any drift is a real
 //!   behaviour change in the storage model, the batching pipeline or a
-//!   cache policy. Gated. This includes one mixed-workload row per
-//!   selectable cache policy, so a silent change to any replacement
-//!   algorithm fails the gate.
+//!   cache policy. Gated. This includes a mixed-workload throughput *and*
+//!   hit-ratio row per selectable cache policy, so a silent change to any
+//!   replacement algorithm fails the gate; on top of the baseline
+//!   comparison, ARC's hit ratio must never fall below engine-LRU's (the
+//!   adaptive policy's acceptance criterion).
 //! * The wall-clock *speedup ratio* is machine-robust (both sides run on
 //!   the same machine in the same process). Gated.
 //! * Absolute wall-clock throughputs vary with the runner's hardware, so
@@ -43,8 +45,7 @@
 
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
-    drive, fresh_cache, fresh_policy_cache, mixed_request, random_read, scan_read, QUEUE_DEPTH,
-    TOTAL_SUBMITS,
+    drive, fresh_cache, mixed_policy_run, random_read, scan_read, QUEUE_DEPTH, TOTAL_SUBMITS,
 };
 use hstorage_cache::{CachePolicyKind, StorageSystem};
 use std::time::Instant;
@@ -93,15 +94,6 @@ fn sim_scan_seconds(queue_depth: usize) -> f64 {
 fn sim_random_seconds() -> f64 {
     let cache = fresh_cache(QUEUE_DEPTH);
     drive(&cache, 64, random_read);
-    cache.now().as_secs_f64()
-}
-
-/// Deterministic simulated seconds for the mixed workload under one cache
-/// policy — guards each replacement algorithm's admission/eviction
-/// behaviour bit-for-bit.
-fn sim_policy_seconds(kind: CachePolicyKind) -> f64 {
-    let cache = fresh_policy_cache(kind, QUEUE_DEPTH);
-    drive(&cache, 64, mixed_request);
     cache.now().as_secs_f64()
 }
 
@@ -176,16 +168,29 @@ fn main() {
             deterministic: true,
         },
     ];
+    // One mixed-workload run per selectable policy contributes two
+    // deterministic gated rows: simulated device throughput (a behaviour
+    // change in any replacement algorithm shifts it) and the overall hit
+    // ratio (which also feeds the ARC-vs-LRU acceptance check below).
+    let mut policy_hit_ratio = Vec::new();
     for kind in CachePolicyKind::all() {
+        let (sim_seconds, hit_ratio) = mixed_policy_run(kind);
         measurements.push(Measurement {
             metric: format!(
                 "sim: {} policy mixed-workload device throughput (submits/sim-s)",
                 kind.label()
             ),
-            value: TOTAL_SUBMITS as f64 / sim_policy_seconds(kind),
+            value: TOTAL_SUBMITS as f64 / sim_seconds,
             gated: true,
             deterministic: true,
         });
+        measurements.push(Measurement {
+            metric: format!("sim: {} policy mixed-workload hit ratio", kind.label()),
+            value: hit_ratio,
+            gated: true,
+            deterministic: true,
+        });
+        policy_hit_ratio.push((kind, hit_ratio));
     }
 
     if write_baseline || update_baseline {
@@ -314,6 +319,24 @@ fn main() {
         failures.push(format!(
             "batch=64 throughput ({wall_batch64:.0}/s) is not strictly better than \
              single-submit ({wall_single:.0}/s)"
+        ));
+    }
+    // Acceptance criterion of the adaptive policy, also baseline-free:
+    // self-tuning ARC must hit at least as often as engine-LRU on the
+    // mixed workload (scan pollution plus a reused random set is exactly
+    // the shape ARC exists to win).
+    let hit_of = |kind: CachePolicyKind| {
+        policy_hit_ratio
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| *h)
+            .expect("every policy was measured")
+    };
+    let (arc_hits, lru_hits) = (hit_of(CachePolicyKind::Arc), hit_of(CachePolicyKind::Lru));
+    if arc_hits < lru_hits {
+        failures.push(format!(
+            "ARC mixed-workload hit ratio ({arc_hits:.4}) fell below engine-LRU's \
+             ({lru_hits:.4})"
         ));
     }
     for (m, row) in measurements.iter().zip(&report) {

@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p hstorage-bench --bin run_experiments \
-//!     [scale] [--check] [--only <name>]...`
+//!     [scale] [--check] [--only <name>]... [--report <path>]`
 //!
 //! * `scale` — optional TPC-H scale factor (default 0.1 for the
 //!   single-query experiments, half of that for the sequence/concurrency
@@ -14,11 +14,17 @@
 //!   the CI paper-fidelity gate.
 //! * `--only <name>` — run a single experiment instead of all of them
 //!   (repeatable). Names: `fig4`, `fig5`, `fig6`, `fig9`, `fig11`,
-//!   `table9`, `ablations`, `policy_comparison`. With `--check`, only the
-//!   ratios of the selected experiments are gated.
+//!   `table9`, `ablations`, `policy_comparison`, `policy_ablation`. With
+//!   `--check`, only the ratios of the selected experiments are gated.
+//! * `--report <path>` — additionally write the key ratios of the
+//!   experiments that ran as a JSON comparison file (the
+//!   `BENCH_report.json` row schema), so CI can upload the run as an
+//!   artifact.
 
-use hstorage::experiments::{ablation, fig11, fig4, fig5, fig6, fig9, policy_comparison, table9};
-use hstorage::report::PaperComparison;
+use hstorage::experiments::{
+    ablation, fig11, fig4, fig5, fig6, fig9, policy_ablation, policy_comparison, table9,
+};
+use hstorage::report::{comparisons_to_json, PaperComparison};
 use hstorage_tpch::TpchScale;
 
 /// One named experiment: a banner, and a runner that prints its report and
@@ -169,6 +175,29 @@ fn experiments(single_scale: TpchScale, long_scale: TpchScale) -> Vec<Experiment
                 )]
             }),
         },
+        Experiment {
+            name: "policy_ablation",
+            banner: "Policy knob ablation (CFLRU window, 2Q Kin/Kout)",
+            run: Box::new(move || {
+                let pa = policy_ablation::run(long_scale);
+                println!("{pa}\n");
+                vec![
+                    // Both expectations are directional consequences of
+                    // the knob's definition, so they double as fidelity
+                    // gates for the knob plumbing itself.
+                    PaperComparison::new(
+                        "CFLRU write-backs, window 5% vs 75% (knob ablation)",
+                        1.2,
+                        pa.cflru_writeback_saving().unwrap_or(0.0),
+                    ),
+                    PaperComparison::new(
+                        "2Q hit ratio, Kin 10% vs 50% (knob ablation)",
+                        1.1,
+                        pa.two_q_probation_payoff().unwrap_or(0.0),
+                    ),
+                ]
+            }),
+        },
     ]
 }
 
@@ -176,8 +205,9 @@ fn main() {
     let mut arg_scale: Option<f64> = None;
     let mut check = false;
     let mut only: Vec<String> = Vec::new();
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let usage = "usage: run_experiments [scale] [--check] [--only <name>]...";
+    let usage = "usage: run_experiments [scale] [--check] [--only <name>]... [--report <path>]";
     while let Some(arg) = args.next() {
         if arg == "--check" {
             check = true;
@@ -186,6 +216,14 @@ fn main() {
                 Some(name) => only.push(name),
                 None => {
                     eprintln!("--only needs an experiment name\n{usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--report" {
+            match args.next() {
+                Some(path) => report_path = Some(path),
+                None => {
+                    eprintln!("--report needs a path\n{usage}");
                     std::process::exit(2);
                 }
             }
@@ -231,6 +269,14 @@ fn main() {
             experiment.banner
         );
         comparisons.extend((experiment.run)());
+    }
+
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, comparisons_to_json(&comparisons)) {
+            eprintln!("run_experiments: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("key ratios written to {path}");
     }
 
     if comparisons.is_empty() {

@@ -161,6 +161,21 @@ pub mod workload {
         }
         cache.resident_blocks()
     }
+
+    /// Runs the mixed workload once under `kind` and returns the two
+    /// deterministic figures the CI gate tracks per policy: simulated
+    /// device seconds and the overall cache hit ratio.
+    pub fn mixed_policy_run(kind: CachePolicyKind) -> (f64, f64) {
+        let cache = fresh_policy_cache(kind, QUEUE_DEPTH);
+        drive(&cache, 64, mixed_request);
+        let totals = cache.stats().totals();
+        let hit_ratio = if totals.accessed_blocks == 0 {
+            0.0
+        } else {
+            totals.cache_hits as f64 / totals.accessed_blocks as f64
+        };
+        (cache.now().as_secs_f64(), hit_ratio)
+    }
 }
 
 #[cfg(test)]

@@ -123,8 +123,14 @@ impl StorageConfig {
         self
     }
 
-    /// Overrides the replacement policy of the hStorage-DB cache engine.
+    /// Overrides the replacement policy of the hStorage-DB cache engine,
+    /// including any knob values the kind carries (CFLRU window, 2Q
+    /// `Kin`/`Kout`, per-stream routing). Panics on out-of-range knobs so
+    /// a misconfiguration fails at description time, not at build time.
     pub fn with_cache_policy(mut self, cache_policy: CachePolicyKind) -> Self {
+        cache_policy
+            .validate()
+            .expect("invalid cache-policy configuration");
         self.cache_policy = cache_policy;
         self
     }
@@ -219,9 +225,31 @@ mod tests {
         assert_eq!(default.name(), "hStorage-DB");
         // Non-engine kinds ignore the selector.
         let lru = StorageConfig::new(StorageConfigKind::Lru, 256)
-            .with_cache_policy(CachePolicyKind::TwoQ)
+            .with_cache_policy(CachePolicyKind::two_q())
             .build();
         assert_eq!(lru.name(), "LRU");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache-policy configuration")]
+    fn out_of_range_knobs_are_rejected_at_description_time() {
+        let _ = StorageConfig::new(StorageConfigKind::HStorageDb, 256)
+            .with_cache_policy(CachePolicyKind::Cflru { window_pct: 0 });
+    }
+
+    #[test]
+    fn knobbed_policies_build_with_custom_values() {
+        let sys = StorageConfig::new(StorageConfigKind::HStorageDb, 256)
+            .with_cache_policy(CachePolicyKind::TwoQ {
+                kin_pct: 10,
+                kout_pct: 150,
+            })
+            .build();
+        assert_eq!(sys.name(), "hybrid-2q");
+        let sys = StorageConfig::new(StorageConfigKind::HStorageDb, 256)
+            .with_cache_policy(CachePolicyKind::per_stream())
+            .build();
+        assert_eq!(sys.name(), "hybrid-per-stream");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::allocator::SlotAllocator;
 use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
-use crate::policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest};
+use crate::policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason};
 use crate::stats::{CacheAction, CacheStats};
 use crate::system::StorageSystem;
 use hstorage_storage::{
@@ -94,14 +94,20 @@ impl Shard {
         self.stats.record_action(CacheAction::Eviction, 1);
     }
 
-    /// Tries to obtain a free cache slot for the request's block, asking
-    /// the policy to displace a resident if the shard is full. Returns the
-    /// physical slot or `None` if the block must bypass the cache.
-    fn try_allocate(&mut self, req: &PolicyRequest, batch: &mut DeviceBatch) -> Option<u64> {
+    /// Tries to obtain a free cache slot for `incoming` (the missing
+    /// block of `req`), asking the policy to displace a resident if the
+    /// shard is full. Returns the physical slot or `None` if the block
+    /// must bypass the cache.
+    fn try_allocate(
+        &mut self,
+        incoming: BlockAddr,
+        req: &PolicyRequest,
+        batch: &mut DeviceBatch,
+    ) -> Option<u64> {
         if let Some(pbn) = self.alloc.allocate() {
             return Some(pbn);
         }
-        let victim = self.policy.pop_victim(req)?;
+        let victim = self.policy.pop_victim(incoming, req)?;
         self.evict(victim, batch);
         self.alloc.allocate()
     }
@@ -143,7 +149,7 @@ impl Shard {
             return false;
         }
 
-        match self.try_allocate(req, batch) {
+        match self.try_allocate(lbn, req, batch) {
             Some(pbn) => {
                 let state = match req.direction {
                     Direction::Read => {
@@ -234,12 +240,13 @@ impl Shard {
     fn trim_block(&mut self, lbn: BlockAddr) -> u64 {
         let Some(entry) = self.meta.remove(lbn) else {
             // The block's lifetime ended while not resident: policies
-            // keeping history about absent addresses (2Q's ghost list)
+            // keeping history about absent addresses (ghost lists)
             // must still forget it.
             self.policy.on_trim_absent(lbn);
             return 0;
         };
-        self.policy.on_remove(lbn, entry.priority);
+        self.policy
+            .on_remove_reasoned(lbn, entry.priority, RemoveReason::Trim);
         if self.policy.write_buffered(entry.priority) {
             self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
         }
@@ -390,9 +397,11 @@ impl CacheEngine {
     }
 
     /// Selects which shipped [`CachePolicyKind`] drives the engine's
-    /// decisions. Must be called before any traffic is submitted (the
-    /// per-shard policy state is rebuilt empty).
+    /// decisions, including any knob values the kind carries. Must be
+    /// called before any traffic is submitted (the per-shard policy state
+    /// is rebuilt empty).
     pub fn with_cache_policy(mut self, kind: CachePolicyKind) -> Self {
+        kind.validate().expect("invalid cache-policy configuration");
         self.policy_kind = kind;
         self.name = kind.system_name().to_string();
         for shard in &mut self.shards {
@@ -491,6 +500,7 @@ impl CacheEngine {
     fn policy_request(&self, req: &ClassifiedRequest) -> PolicyRequest {
         PolicyRequest {
             direction: req.io.direction,
+            class: req.class,
             qos: req.policy,
             prio: self.config.resolve(req.policy),
         }
@@ -816,11 +826,11 @@ mod tests {
             "hStorage-DB"
         );
         assert_eq!(engine(CachePolicyKind::Lru, 10).name(), "hybrid-lru");
-        assert_eq!(engine(CachePolicyKind::Cflru, 10).name(), "hybrid-cflru");
-        assert_eq!(engine(CachePolicyKind::TwoQ, 10).name(), "hybrid-2q");
+        assert_eq!(engine(CachePolicyKind::cflru(), 10).name(), "hybrid-cflru");
+        assert_eq!(engine(CachePolicyKind::two_q(), 10).name(), "hybrid-2q");
         assert_eq!(
-            engine(CachePolicyKind::TwoQ, 10).cache_policy_kind(),
-            CachePolicyKind::TwoQ
+            engine(CachePolicyKind::two_q(), 10).cache_policy_kind(),
+            CachePolicyKind::two_q()
         );
     }
 
@@ -893,7 +903,7 @@ mod tests {
             }
             c.stats().hdd.expect("engine has an HDD").blocks_written
         };
-        assert!(run(CachePolicyKind::Cflru) < run(CachePolicyKind::Lru));
+        assert!(run(CachePolicyKind::cflru()) < run(CachePolicyKind::Lru));
     }
 
     #[test]
@@ -918,11 +928,110 @@ mod tests {
             }
             c.stats().class(RequestClass::Random).cache_hits
         };
-        let two_q = hot_hits(CachePolicyKind::TwoQ);
+        let two_q = hot_hits(CachePolicyKind::two_q());
         let lru = hot_hits(CachePolicyKind::Lru);
         assert!(
             two_q > 2 * lru.max(1),
             "2Q must out-hit LRU on the scan-polluted hot set (2Q {two_q}, LRU {lru})"
+        );
+    }
+
+    #[test]
+    fn arc_policy_engine_resists_scan_pollution() {
+        // A hot set that proves reuse once while resident (back-to-back
+        // warm-up touches), then rounds of one hot pass plus a one-shot
+        // scan as large as the cache. ARC holds the promoted set in T2
+        // while the scans churn T1; LRU loses it to every scan.
+        let hot_hits = |kind: CachePolicyKind| {
+            let c = engine(kind, 64);
+            for _ in 0..2 {
+                for i in 0..8u64 {
+                    c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+                }
+            }
+            for round in 0..30u64 {
+                for i in 0..8u64 {
+                    c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+                }
+                c.submit(read_req(
+                    10_000 + round * 64,
+                    64,
+                    RequestClass::Sequential,
+                    QosPolicy::NonCachingNonEviction,
+                ));
+            }
+            c.stats().class(RequestClass::Random).cache_hits
+        };
+        let arc = hot_hits(CachePolicyKind::Arc);
+        let lru = hot_hits(CachePolicyKind::Lru);
+        assert!(
+            arc > 2 * lru.max(1),
+            "ARC must out-hit LRU on the scan-polluted hot set (ARC {arc}, LRU {lru})"
+        );
+    }
+
+    #[test]
+    fn per_stream_engine_routes_scans_to_semantic_and_reads_to_arc() {
+        let c = engine(CachePolicyKind::per_stream(), 100);
+        // The sequential stream consults the semantic inner: scans bypass.
+        c.submit(read_req(
+            0,
+            50,
+            RequestClass::Sequential,
+            QosPolicy::NonCachingNonEviction,
+        ));
+        assert_eq!(c.resident_blocks(), 0);
+        assert_eq!(c.stats().action(CacheAction::Bypassing), 50);
+        // The random stream consults ARC: even a non-caching QoS is
+        // admitted (ARC ignores classification, like any baseline).
+        c.submit(read_req(
+            1_000,
+            10,
+            RequestClass::Random,
+            QosPolicy::priority(2),
+        ));
+        assert_eq!(c.resident_blocks(), 10);
+        // Temporary-data lifecycle still works through the semantic
+        // stream: write, trim, gone.
+        c.submit(write_req(
+            2_000,
+            20,
+            RequestClass::TemporaryData,
+            QosPolicy::priority(1),
+        ));
+        assert_eq!(c.resident_blocks(), 30);
+        c.trim(&TrimCommand::single(BlockRange::new(2_000u64, 20)));
+        assert_eq!(c.resident_blocks(), 10);
+        assert_eq!(c.stats().action(CacheAction::Trim), 20);
+    }
+
+    #[test]
+    fn per_stream_engine_keeps_the_semantic_write_buffer() {
+        let c = engine(CachePolicyKind::per_stream(), 100); // buffer limit 10
+        assert_eq!(c.write_buffer_limit(), 10);
+        for i in 0..11u64 {
+            c.submit(write_req(
+                i,
+                1,
+                RequestClass::Update,
+                QosPolicy::WriteBuffer,
+            ));
+        }
+        // The 11th buffered write exceeds the limit and triggers a flush,
+        // exactly like the plain semantic engine.
+        assert_eq!(c.write_buffer_resident(), 0);
+        assert_eq!(c.stats().action(CacheAction::WriteBufferFlush), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache-policy configuration")]
+    fn engine_rejects_out_of_range_policy_knobs() {
+        let _ = engine(
+            CachePolicyKind::TwoQ {
+                kin_pct: 25,
+                kout_pct: 201,
+            },
+            64,
         );
     }
 
@@ -1006,7 +1115,7 @@ mod tests {
         // Temporary-data lifecycle against the ghost list: a block that
         // was evicted (and ghosted) and then TRIMmed must be a first-touch
         // block again when its address is re-used — not falsely hot.
-        let c = engine(CachePolicyKind::TwoQ, 8); // kin = 2 per shard
+        let c = engine(CachePolicyKind::two_q(), 8); // kin = 2 per shard
         c.submit(write_req(
             3,
             1,
@@ -1029,7 +1138,7 @@ mod tests {
 
         // Against a twin engine that never saw the block, the re-used
         // address must behave identically (i.e. not be ghost-promoted).
-        let twin = engine(CachePolicyKind::TwoQ, 8);
+        let twin = engine(CachePolicyKind::two_q(), 8);
         for e in [&c, &twin] {
             e.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
             for i in 100..140u64 {

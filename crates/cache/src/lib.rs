@@ -20,9 +20,11 @@
 //! (shards, allocator, write buffer, batched device submission) and a
 //! pluggable [`policy`] framework: the paper's semantic priority policy is
 //! one [`CachePolicy`] among several ([`policy::LruPolicy`],
-//! [`policy::CflruPolicy`], [`policy::TwoQPolicy`]), selectable via
-//! [`CachePolicyKind`] on [`StorageConfig`] so the same engine can compare
-//! replacement algorithms under identical mechanism.
+//! [`policy::CflruPolicy`], [`policy::TwoQPolicy`], the adaptive
+//! [`policy::ArcPolicy`] and the [`policy::PerStreamPolicy`] compositor),
+//! selectable — knobs included — via [`CachePolicyKind`] on
+//! [`StorageConfig`] so the same engine can compare replacement
+//! algorithms under identical mechanism.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,7 +48,10 @@ pub use engine::CacheEngine;
 pub use hybrid::HybridCache;
 pub use lru_cache::LruCache;
 pub use passthrough::{HddOnly, SsdOnly};
-pub use policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest};
+pub use policy::{
+    CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason, StreamPolicyKind,
+    StreamRouting,
+};
 pub use stats::{CacheAction, CacheStats, ClassCounters};
 pub use system::StorageSystem;
 pub use trace::{Trace, TraceEvent, TraceRecorder};

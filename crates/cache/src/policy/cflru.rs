@@ -29,14 +29,22 @@ pub struct CflruPolicy {
 }
 
 impl CflruPolicy {
-    /// Clean-first window as a fraction of the shard capacity (the
-    /// "window size" parameter of the CFLRU paper; a quarter of the cache
-    /// is a common operating point).
-    const WINDOW_FRACTION: f64 = 0.25;
+    /// Default clean-first window as an integer percentage of the shard
+    /// capacity (the "window size" parameter of the CFLRU paper; a
+    /// quarter of the cache is a common operating point).
+    pub const DEFAULT_WINDOW_PCT: u8 = 25;
 
-    /// Creates the policy for a shard of `shard_capacity` slots.
+    /// Creates the policy for a shard of `shard_capacity` slots with the
+    /// default window.
     pub fn new(shard_capacity: u64) -> Self {
-        let window = ((shard_capacity as f64 * Self::WINDOW_FRACTION).floor() as usize).max(1);
+        Self::with_window(shard_capacity, Self::DEFAULT_WINDOW_PCT)
+    }
+
+    /// Creates the policy with an explicit clean-first window, given as an
+    /// integer percentage of `shard_capacity` (floored, minimum 1 block).
+    pub fn with_window(shard_capacity: u64, window_pct: u8) -> Self {
+        let window =
+            ((shard_capacity as f64 * (window_pct as f64 / 100.0)).floor() as usize).max(1);
         CflruPolicy {
             stack: LruList::new(),
             dirty: HashSet::new(),
@@ -68,7 +76,7 @@ impl CachePolicy for CflruPolicy {
         true
     }
 
-    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+    fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         let clean = self
             .stack
             .iter_lru()
@@ -107,15 +115,20 @@ impl CachePolicy for CflruPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hstorage_storage::{PolicyConfig, QosPolicy};
+    use hstorage_storage::{PolicyConfig, QosPolicy, RequestClass};
 
     fn req(direction: Direction) -> PolicyRequest {
         let config = PolicyConfig::paper_default();
         PolicyRequest {
             direction,
+            class: RequestClass::Random,
             qos: QosPolicy::priority(2),
             prio: config.resolve(QosPolicy::priority(2)),
         }
+    }
+
+    fn pop(p: &mut CflruPolicy) -> Option<BlockAddr> {
+        p.pop_victim(BlockAddr(u64::MAX), &req(Direction::Read))
     }
 
     #[test]
@@ -127,7 +140,7 @@ mod tests {
         p.on_insert(BlockAddr(3), &req(Direction::Read)); // clean
                                                           // Plain LRU would evict 1; CFLRU skips the dirty block and takes
                                                           // the oldest clean one inside the window.
-        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(2)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(2)));
     }
 
     #[test]
@@ -136,7 +149,7 @@ mod tests {
         p.on_insert(BlockAddr(1), &req(Direction::Write));
         p.on_insert(BlockAddr(2), &req(Direction::Write));
         p.on_insert(BlockAddr(3), &req(Direction::Read)); // clean but outside window
-        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)));
     }
 
     #[test]
@@ -146,10 +159,10 @@ mod tests {
         p.on_insert(BlockAddr(2), &req(Direction::Read));
         p.on_hit(BlockAddr(1), CachePriority(2), &req(Direction::Write));
         // Block 1 is now dirty (and MRU); block 2 is the clean victim.
-        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(2)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(2)));
         // Only the dirty block remains; window exhausted, LRU fallback.
-        assert_eq!(p.pop_victim(&req(Direction::Read)), Some(BlockAddr(1)));
-        assert_eq!(p.pop_victim(&req(Direction::Read)), None);
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p), None);
     }
 
     #[test]
@@ -157,5 +170,23 @@ mod tests {
         assert_eq!(CflruPolicy::new(0).window(), 1);
         assert_eq!(CflruPolicy::new(1).window(), 1);
         assert_eq!(CflruPolicy::new(100).window(), 25);
+    }
+
+    #[test]
+    fn window_knob_resizes_the_clean_first_search() {
+        assert_eq!(CflruPolicy::with_window(100, 5).window(), 5);
+        assert_eq!(CflruPolicy::with_window(100, 100).window(), 100);
+        assert_eq!(CflruPolicy::with_window(10, 1).window(), 1);
+        // The default constructor and the explicit default agree.
+        assert_eq!(
+            CflruPolicy::with_window(64, CflruPolicy::DEFAULT_WINDOW_PCT).window(),
+            CflruPolicy::new(64).window()
+        );
+        // A 1%-window CFLRU degenerates toward plain LRU: with the LRU
+        // block dirty it pays the write-back immediately.
+        let mut lru_like = CflruPolicy::with_window(100, 1);
+        lru_like.on_insert(BlockAddr(1), &req(Direction::Write));
+        lru_like.on_insert(BlockAddr(2), &req(Direction::Read));
+        assert_eq!(pop(&mut lru_like), Some(BlockAddr(1)));
     }
 }

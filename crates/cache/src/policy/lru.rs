@@ -37,7 +37,7 @@ impl CachePolicy for LruPolicy {
         true
     }
 
-    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+    fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         self.stack.pop_lru()
     }
 
@@ -56,15 +56,20 @@ impl CachePolicy for LruPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hstorage_storage::{Direction, PolicyConfig, QosPolicy};
+    use hstorage_storage::{Direction, PolicyConfig, QosPolicy, RequestClass};
 
     fn req(qos: QosPolicy) -> PolicyRequest {
         let config = PolicyConfig::paper_default();
         PolicyRequest {
             direction: Direction::Read,
+            class: RequestClass::Random,
             qos,
             prio: config.resolve(qos),
         }
+    }
+
+    fn pop(p: &mut LruPolicy, req: &PolicyRequest) -> Option<BlockAddr> {
+        p.pop_victim(BlockAddr(u64::MAX), req)
     }
 
     #[test]
@@ -85,10 +90,10 @@ mod tests {
         p.on_insert(BlockAddr(3), &high);
         // Touch the oldest: it becomes MRU.
         p.on_hit(BlockAddr(1), CachePriority(1), &low);
-        assert_eq!(p.pop_victim(&high), Some(BlockAddr(2)));
-        assert_eq!(p.pop_victim(&high), Some(BlockAddr(3)));
-        assert_eq!(p.pop_victim(&high), Some(BlockAddr(1)));
-        assert_eq!(p.pop_victim(&high), None);
+        assert_eq!(pop(&mut p, &high), Some(BlockAddr(2)));
+        assert_eq!(pop(&mut p, &high), Some(BlockAddr(3)));
+        assert_eq!(pop(&mut p, &high), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p, &high), None);
     }
 
     #[test]
@@ -97,6 +102,6 @@ mod tests {
         let r = req(QosPolicy::priority(2));
         p.on_insert(BlockAddr(9), &r);
         p.on_remove(BlockAddr(9), CachePriority(2));
-        assert_eq!(p.pop_victim(&r), None);
+        assert_eq!(pop(&mut p, &r), None);
     }
 }

@@ -15,35 +15,52 @@
 //!   selective eviction over per-priority LRU groups (the default),
 //! * [`LruPolicy`] — a single classification-blind LRU stack,
 //! * [`CflruPolicy`] — clean-first LRU: prefers evicting clean blocks to
-//!   save write-backs,
+//!   save write-backs (tunable clean-first window),
 //! * [`TwoQPolicy`] — scan-resistant 2Q with a probationary FIFO and a
-//!   ghost list.
+//!   ghost list (tunable `Kin`/`Kout`),
+//! * [`ArcPolicy`] — adaptive replacement: two resident LRU lists backed
+//!   by two [`GhostList`]s and a self-tuning recency/frequency target,
+//! * [`PerStreamPolicy`] — a compositor that routes each request class to
+//!   its own inner policy ([`StreamRouting`]), so mixed workloads get the
+//!   best algorithm per stream.
 //!
 //! A policy instance is **per shard**: the engine builds one via
 //! [`CachePolicyKind::build`] (or a custom factory) for each of its lock
 //! stripes, so implementations need no internal synchronisation.
 
+mod arc;
 mod cflru;
+mod ghost;
 mod lru;
+mod per_stream;
 mod semantic;
 mod two_q;
 
+pub use arc::ArcPolicy;
 pub use cflru::CflruPolicy;
+pub use ghost::GhostList;
 pub use lru::LruPolicy;
+pub use per_stream::{PerStreamPolicy, StreamPolicyKind, StreamRouting};
 pub use semantic::SemanticPriorityPolicy;
 pub use two_q::TwoQPolicy;
 
-use hstorage_storage::{BlockAddr, CachePriority, Direction, PolicyConfig, QosPolicy};
+use hstorage_storage::{
+    BlockAddr, CachePriority, Direction, PolicyConfig, QosPolicy, RequestClass,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The per-block view of a request that a policy decides on: the I/O
-/// direction, the QoS policy the request carries, and the caching priority
-/// it resolves to under the active [`PolicyConfig`].
+/// direction, the request class the DBMS derived from semantic
+/// information, the QoS policy the request carries, and the caching
+/// priority it resolves to under the active [`PolicyConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyRequest {
     /// Read or write.
     pub direction: Direction,
+    /// The request class (stream) the DBMS classified the request into —
+    /// what [`PerStreamPolicy`] routes on.
+    pub class: RequestClass,
     /// The QoS policy attached to the request by the DBMS storage manager.
     pub qos: QosPolicy,
     /// The priority the QoS policy resolves to (write buffer = 0).
@@ -62,6 +79,23 @@ pub enum HitOutcome {
     Moved(CachePriority),
 }
 
+/// Why the engine removed a tracked block without asking the policy for a
+/// victim — the lifetime hint behind
+/// [`CachePolicy::on_remove_reasoned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemoveReason {
+    /// A TRIM invalidated the block: its lifetime has **ended** and the
+    /// address may be re-used for unrelated data. History-keeping policies
+    /// must forget everything about the address (like the semantic
+    /// policy's end-of-lifetime handling of `NonCachingEviction` data).
+    Trim,
+    /// The block was displaced by something outside the policy's own
+    /// victim selection (e.g. a compositor rebalancing streams). The
+    /// address is still live, so ghost-keeping policies may remember it
+    /// exactly as they would one of their own evictions.
+    Evict,
+}
+
 /// A cache-replacement algorithm: the decision half of the hybrid cache.
 ///
 /// The engine calls exactly one method per block event and mirrors the
@@ -72,7 +106,7 @@ pub enum HitOutcome {
 /// * every block passed to [`CachePolicy::on_insert`] is tracked until the
 ///   policy itself returns it from [`CachePolicy::pop_victim`] /
 ///   [`CachePolicy::drain_write_buffer`], or the engine announces its
-///   removal via [`CachePolicy::on_remove`] (TRIM);
+///   removal via [`CachePolicy::on_remove_reasoned`] (TRIM);
 /// * [`CachePolicy::pop_victim`] must only ever return *tracked* blocks.
 ///
 /// # Worked example: a custom FIFO policy
@@ -109,7 +143,7 @@ pub enum HitOutcome {
 ///         true // admit everything, like the classical baselines
 ///     }
 ///
-///     fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+///     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
 ///         self.queue.pop_front()
 ///     }
 ///
@@ -155,10 +189,24 @@ pub trait CachePolicy: Send {
     /// goes straight to the second-level device).
     fn admits(&self, req: &PolicyRequest) -> bool;
 
-    /// The shard is full and `req` was admitted: remove and return the
-    /// block to displace, or `None` if the incoming block is not worth a
-    /// resident one (the request then bypasses the cache).
-    fn pop_victim(&mut self, req: &PolicyRequest) -> Option<BlockAddr>;
+    /// The shard is full and `incoming` (the missing block of `req`) was
+    /// admitted: remove and return the block to displace, or `None` if
+    /// the incoming block is not worth a resident one (the request then
+    /// bypasses the cache). Most policies ignore `incoming`; ARC consults
+    /// its ghost lists for it to bias the recency/frequency trade-off of
+    /// its `REPLACE` step.
+    fn pop_victim(&mut self, incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr>;
+
+    /// Like [`CachePolicy::pop_victim`], but on behalf of a block this
+    /// policy will **never** track — a compositor stealing space for
+    /// another stream's insert. Implementations must not update any
+    /// per-address state for the request (ARC overrides this to skip its
+    /// ghost-hit adaptation of `p`); the default simply delegates with a
+    /// sentinel address, which is correct for every policy whose victim
+    /// choice ignores the incoming block.
+    fn steal_victim(&mut self, req: &PolicyRequest) -> Option<BlockAddr> {
+        self.pop_victim(BlockAddr(u64::MAX), req)
+    }
 
     /// `lbn` was just allocated a slot: start tracking it. The returned
     /// priority is recorded as the block's group label in the engine's
@@ -168,6 +216,19 @@ pub trait CachePolicy: Send {
     /// `lbn` (labelled `group`) was removed by the engine for a reason the
     /// policy did not initiate (TRIM invalidation): stop tracking it.
     fn on_remove(&mut self, lbn: BlockAddr, group: CachePriority);
+
+    /// Reason-aware variant of [`CachePolicy::on_remove`]: the engine (or
+    /// a compositor) reports *why* the block went away, so policies can
+    /// exploit lifetime hints — a [`RemoveReason::Trim`] means the address
+    /// is dead and any ghost history for it must be dropped, while a
+    /// [`RemoveReason::Evict`] is an ordinary displacement the policy may
+    /// remember like one of its own evictions. The default forwards to
+    /// [`CachePolicy::on_remove`], so existing policies compile (and
+    /// behave) unchanged.
+    fn on_remove_reasoned(&mut self, lbn: BlockAddr, group: CachePriority, reason: RemoveReason) {
+        let _ = reason;
+        self.on_remove(lbn, group);
+    }
 
     /// A TRIM invalidated `lbn` while it was **not** resident. The block's
     /// lifetime has ended and its address may be re-used for unrelated
@@ -202,7 +263,12 @@ pub trait CachePolicy: Send {
 
 /// Which [`CachePolicy`] the cache engine runs — the configuration-level
 /// selector threaded from `StorageConfig` / `SystemConfig` down to the
-/// engine.
+/// engine. The tunable policies carry their knobs as variant fields
+/// (validated by [`CachePolicyKind::validate`]); the bare constructors
+/// ([`CachePolicyKind::cflru`], [`CachePolicyKind::two_q`],
+/// [`CachePolicyKind::per_stream`]) fill in the paper-exact defaults, so
+/// a configuration that never touches a knob behaves bit-identically to
+/// the pre-knob framework.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CachePolicyKind {
     /// The paper's semantic, priority-driven policy (selective allocation
@@ -213,29 +279,106 @@ pub enum CachePolicyKind {
     Lru,
     /// Clean-first LRU: prefers clean victims within a window of the LRU
     /// end to save dirty write-backs.
-    Cflru,
+    Cflru {
+        /// Clean-first window as an integer percentage of the shard
+        /// capacity, in `1..=100`. Default
+        /// ([`CflruPolicy::DEFAULT_WINDOW_PCT`]): 25.
+        window_pct: u8,
+    },
     /// Scan-resistant 2Q: probationary FIFO + ghost list + main LRU.
-    TwoQ,
+    TwoQ {
+        /// Probationary-queue (`A1in`) target as an integer percentage of
+        /// the shard capacity, in `1..=100`. Default
+        /// ([`TwoQPolicy::DEFAULT_KIN_PCT`]): 25.
+        kin_pct: u8,
+        /// Ghost-list (`A1out`) capacity as an integer percentage of the
+        /// shard capacity, in `1..=200` (the ghost directory may exceed
+        /// the resident capacity — it holds addresses, not blocks).
+        /// Default ([`TwoQPolicy::DEFAULT_KOUT_PCT`]): 50.
+        kout_pct: u8,
+    },
+    /// Adaptive replacement (ARC): recency and frequency lists with ghost
+    /// directories and a self-tuning balance — no knobs by design.
+    Arc,
+    /// Per-stream compositor: each request class is served by its own
+    /// inner policy as described by the [`StreamRouting`].
+    PerStream(StreamRouting),
 }
 
 impl CachePolicyKind {
-    /// All selectable policies, semantic first.
-    pub fn all() -> [CachePolicyKind; 4] {
+    /// All selectable policies (with default knobs), semantic first.
+    pub fn all() -> [CachePolicyKind; 6] {
         [
             CachePolicyKind::SemanticPriority,
             CachePolicyKind::Lru,
-            CachePolicyKind::Cflru,
-            CachePolicyKind::TwoQ,
+            CachePolicyKind::cflru(),
+            CachePolicyKind::two_q(),
+            CachePolicyKind::Arc,
+            CachePolicyKind::per_stream(),
         ]
     }
 
-    /// Short lower-case label for reports and bench IDs.
+    /// CFLRU with the default clean-first window (25% — the PR-4-exact
+    /// value).
+    pub fn cflru() -> CachePolicyKind {
+        CachePolicyKind::Cflru {
+            window_pct: CflruPolicy::DEFAULT_WINDOW_PCT,
+        }
+    }
+
+    /// 2Q with the 2Q paper's recommended fractions (`Kin` 25%, `Kout`
+    /// 50% — the PR-4-exact values).
+    pub fn two_q() -> CachePolicyKind {
+        CachePolicyKind::TwoQ {
+            kin_pct: TwoQPolicy::DEFAULT_KIN_PCT,
+            kout_pct: TwoQPolicy::DEFAULT_KOUT_PCT,
+        }
+    }
+
+    /// The per-stream compositor under its default routing (semantic for
+    /// sequential/temporary/update streams, ARC for random point reads).
+    pub fn per_stream() -> CachePolicyKind {
+        CachePolicyKind::PerStream(StreamRouting::default())
+    }
+
+    /// Short lower-case label for reports, bench IDs and the CI policy
+    /// matrix. The label identifies the policy *family*; knob values are
+    /// rendered by [`CachePolicyKind::describe`].
     pub fn label(&self) -> &'static str {
         match self {
             CachePolicyKind::SemanticPriority => "semantic-priority",
             CachePolicyKind::Lru => "lru",
-            CachePolicyKind::Cflru => "cflru",
-            CachePolicyKind::TwoQ => "2q",
+            CachePolicyKind::Cflru { .. } => "cflru",
+            CachePolicyKind::TwoQ { .. } => "2q",
+            CachePolicyKind::Arc => "arc",
+            CachePolicyKind::PerStream(_) => "per-stream",
+        }
+    }
+
+    /// Parses a [`CachePolicyKind::label`] back into a kind with default
+    /// knobs — how the CI policy-matrix env var selects a policy.
+    pub fn from_label(label: &str) -> Option<CachePolicyKind> {
+        Some(match label {
+            "semantic-priority" => CachePolicyKind::SemanticPriority,
+            "lru" => CachePolicyKind::Lru,
+            "cflru" => CachePolicyKind::cflru(),
+            "2q" => CachePolicyKind::two_q(),
+            "arc" => CachePolicyKind::Arc,
+            "per-stream" => CachePolicyKind::per_stream(),
+            _ => return None,
+        })
+    }
+
+    /// The label plus the knob values in force, e.g. `2q(kin=25%,kout=50%)`
+    /// — what the ablation reports print.
+    pub fn describe(&self) -> String {
+        match self {
+            CachePolicyKind::Cflru { window_pct } => format!("cflru(window={window_pct}%)"),
+            CachePolicyKind::TwoQ { kin_pct, kout_pct } => {
+                format!("2q(kin={kin_pct}%,kout={kout_pct}%)")
+            }
+            CachePolicyKind::PerStream(routing) => format!("per-stream({routing})"),
+            other => other.label().to_string(),
         }
     }
 
@@ -245,19 +388,54 @@ impl CachePolicyKind {
         match self {
             CachePolicyKind::SemanticPriority => "hStorage-DB",
             CachePolicyKind::Lru => "hybrid-lru",
-            CachePolicyKind::Cflru => "hybrid-cflru",
-            CachePolicyKind::TwoQ => "hybrid-2q",
+            CachePolicyKind::Cflru { .. } => "hybrid-cflru",
+            CachePolicyKind::TwoQ { .. } => "hybrid-2q",
+            CachePolicyKind::Arc => "hybrid-arc",
+            CachePolicyKind::PerStream(_) => "hybrid-per-stream",
+        }
+    }
+
+    /// The equivalent routing leaf for the non-compositor kinds — the
+    /// single place knob ranges and leaf construction live
+    /// ([`StreamPolicyKind`] is the source of truth; this conversion is
+    /// what keeps the two enums from drifting apart).
+    fn stream_kind(&self) -> Option<StreamPolicyKind> {
+        Some(match self {
+            CachePolicyKind::SemanticPriority => StreamPolicyKind::SemanticPriority,
+            CachePolicyKind::Lru => StreamPolicyKind::Lru,
+            CachePolicyKind::Cflru { window_pct } => StreamPolicyKind::Cflru {
+                window_pct: *window_pct,
+            },
+            CachePolicyKind::TwoQ { kin_pct, kout_pct } => StreamPolicyKind::TwoQ {
+                kin_pct: *kin_pct,
+                kout_pct: *kout_pct,
+            },
+            CachePolicyKind::Arc => StreamPolicyKind::Arc,
+            CachePolicyKind::PerStream(_) => return None,
+        })
+    }
+
+    /// Validates the knob ranges (and, for the compositor, the routing).
+    /// Leaf bounds are checked by [`StreamPolicyKind::validate`], the
+    /// shared source of truth.
+    pub fn validate(&self) -> Result<(), String> {
+        match (self, self.stream_kind()) {
+            (CachePolicyKind::PerStream(routing), _) => routing.validate(),
+            (_, Some(leaf)) => leaf.validate(),
+            (_, None) => unreachable!("every non-compositor kind has a stream leaf"),
         }
     }
 
     /// Builds one per-shard policy instance for a shard managing
-    /// `shard_capacity` cache slots.
+    /// `shard_capacity` cache slots. Leaf construction is shared with the
+    /// compositor via [`StreamPolicyKind::build`].
     pub fn build(&self, config: &PolicyConfig, shard_capacity: u64) -> Box<dyn CachePolicy> {
-        match self {
-            CachePolicyKind::SemanticPriority => Box::new(SemanticPriorityPolicy::new(*config)),
-            CachePolicyKind::Lru => Box::new(LruPolicy::new()),
-            CachePolicyKind::Cflru => Box::new(CflruPolicy::new(shard_capacity)),
-            CachePolicyKind::TwoQ => Box::new(TwoQPolicy::new(shard_capacity)),
+        match (self, self.stream_kind()) {
+            (CachePolicyKind::PerStream(routing), _) => {
+                Box::new(PerStreamPolicy::new(*config, shard_capacity, *routing))
+            }
+            (_, Some(leaf)) => leaf.build(config, shard_capacity),
+            (_, None) => unreachable!("every non-compositor kind has a stream leaf"),
         }
     }
 }
@@ -276,12 +454,12 @@ mod tests {
     fn labels_and_names_are_unique() {
         let labels: std::collections::HashSet<_> =
             CachePolicyKind::all().iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 6);
         let names: std::collections::HashSet<_> = CachePolicyKind::all()
             .iter()
             .map(|k| k.system_name())
             .collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]
@@ -294,6 +472,76 @@ mod tests {
     }
 
     #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in CachePolicyKind::all() {
+            assert_eq!(CachePolicyKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(CachePolicyKind::from_label("no-such-policy"), None);
+    }
+
+    #[test]
+    fn default_knob_constructors_match_the_pr4_constants() {
+        assert_eq!(
+            CachePolicyKind::cflru(),
+            CachePolicyKind::Cflru { window_pct: 25 }
+        );
+        assert_eq!(
+            CachePolicyKind::two_q(),
+            CachePolicyKind::TwoQ {
+                kin_pct: 25,
+                kout_pct: 50
+            }
+        );
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_knobs() {
+        for kind in CachePolicyKind::all() {
+            assert!(kind.validate().is_ok(), "{kind}");
+        }
+        assert!(CachePolicyKind::Cflru { window_pct: 0 }.validate().is_err());
+        assert!(CachePolicyKind::Cflru { window_pct: 101 }
+            .validate()
+            .is_err());
+        assert!(CachePolicyKind::TwoQ {
+            kin_pct: 0,
+            kout_pct: 50
+        }
+        .validate()
+        .is_err());
+        assert!(CachePolicyKind::TwoQ {
+            kin_pct: 25,
+            kout_pct: 201
+        }
+        .validate()
+        .is_err());
+        // In-range custom knobs pass.
+        assert!(CachePolicyKind::TwoQ {
+            kin_pct: 10,
+            kout_pct: 150
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn describe_renders_the_knobs() {
+        assert_eq!(
+            CachePolicyKind::Cflru { window_pct: 40 }.describe(),
+            "cflru(window=40%)"
+        );
+        assert_eq!(
+            CachePolicyKind::TwoQ {
+                kin_pct: 10,
+                kout_pct: 80
+            }
+            .describe(),
+            "2q(kin=10%,kout=80%)"
+        );
+        assert_eq!(CachePolicyKind::Arc.describe(), "arc");
+    }
+
+    #[test]
     fn build_constructs_every_kind() {
         let config = PolicyConfig::paper_default();
         for kind in CachePolicyKind::all() {
@@ -301,6 +549,7 @@ mod tests {
             // Every freshly built policy admits a plain random read.
             let req = PolicyRequest {
                 direction: Direction::Read,
+                class: RequestClass::Random,
                 qos: QosPolicy::priority(2),
                 prio: CachePriority(2),
             };

@@ -76,7 +76,7 @@ impl CachePolicy for SemanticPriorityPolicy {
         req.qos.admits() && self.config.admissible(req.prio)
     }
 
-    fn pop_victim(&mut self, req: &PolicyRequest) -> Option<BlockAddr> {
+    fn pop_victim(&mut self, _incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr> {
         // Selective allocation: admit only if some resident block has an
         // equal or lower priority (a numerically >= priority value).
         let victim_prio = self.groups.lowest_occupied_priority()?;
@@ -112,14 +112,19 @@ impl CachePolicy for SemanticPriorityPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hstorage_storage::Direction;
+    use hstorage_storage::{Direction, RequestClass};
 
     fn req(qos: QosPolicy, config: &PolicyConfig) -> PolicyRequest {
         PolicyRequest {
             direction: Direction::Read,
+            class: RequestClass::Random,
             qos,
             prio: config.resolve(qos),
         }
+    }
+
+    fn pop(p: &mut SemanticPriorityPolicy, req: &PolicyRequest) -> Option<BlockAddr> {
+        p.pop_victim(BlockAddr(u64::MAX), req)
     }
 
     #[test]
@@ -140,11 +145,11 @@ mod tests {
         let r2 = req(QosPolicy::priority(2), &config);
         p.on_insert(BlockAddr(1), &r2);
         // A lower-priority (numerically higher) request must not displace.
-        assert_eq!(p.pop_victim(&req(QosPolicy::priority(4), &config)), None);
+        assert_eq!(pop(&mut p, &req(QosPolicy::priority(4), &config)), None);
         // An equal-priority request displaces the LRU resident.
-        assert_eq!(p.pop_victim(&r2), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p, &r2), Some(BlockAddr(1)));
         // Empty shard: nothing to displace.
-        assert_eq!(p.pop_victim(&r2), None);
+        assert_eq!(pop(&mut p, &r2), None);
     }
 
     #[test]
@@ -193,7 +198,7 @@ mod tests {
         assert!(p.drain_write_buffer().is_empty());
         // The regular-priority block is still tracked.
         assert_eq!(
-            p.pop_victim(&req(QosPolicy::priority(2), &config)),
+            pop(&mut p, &req(QosPolicy::priority(2), &config)),
             Some(BlockAddr(2))
         );
     }

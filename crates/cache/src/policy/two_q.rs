@@ -9,40 +9,52 @@
 //! ever displacing the hot working set in `Am`.
 
 use crate::lru::LruList;
-use crate::policy::{CachePolicy, HitOutcome, PolicyRequest};
+use crate::policy::{CachePolicy, GhostList, HitOutcome, PolicyRequest, RemoveReason};
 use hstorage_storage::{BlockAddr, CachePriority};
 
 /// The classic "full version" 2Q with FIFO `A1in`, ghost `A1out` and LRU
-/// `Am`, sized by the paper's recommended fractions of the shard capacity
-/// (`Kin` = 25%, `Kout` = 50%).
+/// `Am`, sized by tunable fractions of the shard capacity (defaults:
+/// `Kin` = 25%, `Kout` = 50%, the 2Q paper's recommendation).
 pub struct TwoQPolicy {
     /// Probationary FIFO of resident first-time blocks.
     a1in: LruList<BlockAddr>,
     /// Ghost FIFO of addresses recently evicted from `A1in` (not
     /// resident; holds no cache space).
-    a1out: LruList<BlockAddr>,
+    a1out: GhostList,
     /// Main LRU of re-referenced (hot) resident blocks.
     am: LruList<BlockAddr>,
     /// Target size of `A1in` in blocks.
     kin: usize,
-    /// Capacity of the ghost list in addresses.
-    kout: usize,
 }
 
 impl TwoQPolicy {
-    /// `Kin` as a fraction of the shard capacity (2Q paper: 25%).
-    const KIN_FRACTION: f64 = 0.25;
-    /// `Kout` as a fraction of the shard capacity (2Q paper: 50%).
-    const KOUT_FRACTION: f64 = 0.50;
+    /// Default `Kin` as an integer percentage of the shard capacity (2Q
+    /// paper: 25%).
+    pub const DEFAULT_KIN_PCT: u8 = 25;
+    /// Default `Kout` as an integer percentage of the shard capacity (2Q
+    /// paper: 50%).
+    pub const DEFAULT_KOUT_PCT: u8 = 50;
 
-    /// Creates the policy for a shard of `shard_capacity` slots.
+    /// Creates the policy for a shard of `shard_capacity` slots with the
+    /// paper-recommended default fractions.
     pub fn new(shard_capacity: u64) -> Self {
+        Self::with_knobs(
+            shard_capacity,
+            Self::DEFAULT_KIN_PCT,
+            Self::DEFAULT_KOUT_PCT,
+        )
+    }
+
+    /// Creates the policy with explicit `Kin`/`Kout` fractions, each an
+    /// integer percentage of `shard_capacity` (floored, minimum 1).
+    pub fn with_knobs(shard_capacity: u64, kin_pct: u8, kout_pct: u8) -> Self {
+        let sized =
+            |pct: u8| ((shard_capacity as f64 * (pct as f64 / 100.0)).floor() as usize).max(1);
         TwoQPolicy {
             a1in: LruList::new(),
-            a1out: LruList::new(),
+            a1out: GhostList::new(sized(kout_pct)),
             am: LruList::new(),
-            kin: ((shard_capacity as f64 * Self::KIN_FRACTION).floor() as usize).max(1),
-            kout: ((shard_capacity as f64 * Self::KOUT_FRACTION).floor() as usize).max(1),
+            kin: sized(kin_pct),
         }
     }
 
@@ -53,21 +65,12 @@ impl TwoQPolicy {
 
     /// Ghost list capacity.
     pub fn kout(&self) -> usize {
-        self.kout
+        self.a1out.capacity()
     }
 
     /// Number of ghost addresses currently remembered.
     pub fn ghost_len(&self) -> usize {
         self.a1out.len()
-    }
-
-    /// Records `lbn` on the ghost list, aging out the oldest ghost if the
-    /// list is full.
-    fn remember_ghost(&mut self, lbn: BlockAddr) {
-        self.a1out.insert_mru(lbn);
-        while self.a1out.len() > self.kout {
-            self.a1out.pop_lru();
-        }
     }
 }
 
@@ -90,13 +93,13 @@ impl CachePolicy for TwoQPolicy {
         true
     }
 
-    fn pop_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
+    fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         // Reclaim from the probationary queue while it is over target;
         // its victims are remembered on the ghost list. Otherwise evict
         // the LRU block of Am (forgotten entirely).
         if self.a1in.len() >= self.kin {
             if let Some(victim) = self.a1in.pop_lru() {
-                self.remember_ghost(victim);
+                self.a1out.remember(victim);
                 return Some(victim);
             }
         }
@@ -105,12 +108,12 @@ impl CachePolicy for TwoQPolicy {
         }
         // Am empty (e.g. tiny shard): fall back to whatever A1in holds.
         let victim = self.a1in.pop_lru()?;
-        self.remember_ghost(victim);
+        self.a1out.remember(victim);
         Some(victim)
     }
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
-        if self.a1out.remove(&lbn) {
+        if self.a1out.forget(lbn) {
             // Re-reference after probation: the block is hot.
             self.am.insert_mru(lbn);
         } else {
@@ -125,26 +128,52 @@ impl CachePolicy for TwoQPolicy {
         }
     }
 
+    fn on_remove_reasoned(&mut self, lbn: BlockAddr, group: CachePriority, reason: RemoveReason) {
+        match reason {
+            RemoveReason::Trim => {
+                // Lifetime hint: the address is dead, so no history may
+                // survive either (a resident block is never ghosted, but
+                // compositor fan-out keeps this defensive).
+                self.on_remove(lbn, group);
+                self.a1out.forget(lbn);
+            }
+            RemoveReason::Evict => {
+                // Externally displaced but still live: remember the
+                // address exactly as if this policy had evicted it from
+                // probation, so a prompt re-reference still reads as
+                // reuse.
+                if self.a1in.remove(&lbn) || self.am.remove(&lbn) {
+                    self.a1out.remember(lbn);
+                }
+            }
+        }
+    }
+
     fn on_trim_absent(&mut self, lbn: BlockAddr) {
         // The lifetime of a previously evicted block ended: without this,
         // a later re-use of the address would find the stale ghost and be
         // falsely promoted to Am on first touch.
-        self.a1out.remove(&lbn);
+        self.a1out.forget(lbn);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hstorage_storage::{Direction, PolicyConfig, QosPolicy};
+    use hstorage_storage::{Direction, PolicyConfig, QosPolicy, RequestClass};
 
     fn req() -> PolicyRequest {
         let config = PolicyConfig::paper_default();
         PolicyRequest {
             direction: Direction::Read,
+            class: RequestClass::Random,
             qos: QosPolicy::priority(2),
             prio: config.resolve(QosPolicy::priority(2)),
         }
+    }
+
+    fn pop(p: &mut TwoQPolicy) -> Option<BlockAddr> {
+        p.pop_victim(BlockAddr(u64::MAX), &req())
     }
 
     #[test]
@@ -154,26 +183,50 @@ mod tests {
         p.on_insert(BlockAddr(2), &req());
         // Hits in A1in do not reorder the FIFO.
         p.on_hit(BlockAddr(1), CachePriority(2), &req());
-        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)));
         assert_eq!(p.ghost_len(), 1);
+    }
+
+    #[test]
+    fn default_knobs_match_the_paper_fractions() {
+        let p = TwoQPolicy::new(100);
+        assert_eq!(p.kin(), 25);
+        assert_eq!(p.kout(), 50);
+        // Explicit defaults are identical to the bare constructor.
+        let q = TwoQPolicy::with_knobs(
+            100,
+            TwoQPolicy::DEFAULT_KIN_PCT,
+            TwoQPolicy::DEFAULT_KOUT_PCT,
+        );
+        assert_eq!((q.kin(), q.kout()), (p.kin(), p.kout()));
+    }
+
+    #[test]
+    fn knobs_resize_the_queues_and_never_hit_zero() {
+        let p = TwoQPolicy::with_knobs(100, 10, 150);
+        assert_eq!(p.kin(), 10);
+        assert_eq!(p.kout(), 150);
+        let tiny = TwoQPolicy::with_knobs(2, 10, 10);
+        assert_eq!(tiny.kin(), 1);
+        assert_eq!(tiny.kout(), 1);
     }
 
     #[test]
     fn ghost_re_reference_promotes_to_the_main_queue() {
         let mut p = TwoQPolicy::new(4);
         p.on_insert(BlockAddr(1), &req());
-        let evicted = p.pop_victim(&req()).unwrap();
+        let evicted = pop(&mut p).unwrap();
         assert_eq!(evicted, BlockAddr(1));
         // The address is remembered; re-inserting it lands in Am.
         p.on_insert(BlockAddr(1), &req());
         p.on_insert(BlockAddr(2), &req()); // probationary
         p.on_insert(BlockAddr(3), &req()); // probationary, A1in over target
                                            // Victims come from the probationary queue, not the hot block.
-        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(2)));
-        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(3)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(2)));
+        assert_eq!(pop(&mut p), Some(BlockAddr(3)));
         // Only when probation is empty does Am give up its LRU block.
-        assert_eq!(p.pop_victim(&req()), Some(BlockAddr(1)));
-        assert_eq!(p.pop_victim(&req()), None);
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)));
+        assert_eq!(pop(&mut p), None);
     }
 
     #[test]
@@ -181,7 +234,7 @@ mod tests {
         let mut p = TwoQPolicy::new(4); // kout = 2
         for i in 0..10u64 {
             p.on_insert(BlockAddr(i), &req());
-            p.pop_victim(&req());
+            pop(&mut p);
         }
         assert!(p.ghost_len() <= p.kout());
     }
@@ -191,13 +244,13 @@ mod tests {
         let mut p = TwoQPolicy::new(8); // kin = 2
                                         // Establish a hot block in Am via ghost promotion.
         p.on_insert(BlockAddr(100), &req());
-        while p.pop_victim(&req()).is_some() {}
+        while pop(&mut p).is_some() {}
         p.on_insert(BlockAddr(100), &req());
         // A long one-shot scan churns through probation only.
         for i in 0..50u64 {
             p.on_insert(BlockAddr(i), &req());
             if i >= 2 {
-                let victim = p.pop_victim(&req()).unwrap();
+                let victim = pop(&mut p).unwrap();
                 assert_ne!(victim, BlockAddr(100), "hot block must survive the scan");
             }
         }
@@ -207,17 +260,17 @@ mod tests {
     fn trim_forgets_a_resident_block() {
         let mut p = TwoQPolicy::new(4);
         p.on_insert(BlockAddr(1), &req());
-        p.pop_victim(&req()); // 1 is now a ghost
+        pop(&mut p); // 1 is now a ghost
         p.on_insert(BlockAddr(1), &req()); // promoted to Am
-        p.on_remove(BlockAddr(1), CachePriority(2));
-        assert_eq!(p.pop_victim(&req()), None);
+        p.on_remove_reasoned(BlockAddr(1), CachePriority(2), RemoveReason::Trim);
+        assert_eq!(pop(&mut p), None);
     }
 
     #[test]
     fn trim_of_an_absent_block_forgets_its_ghost() {
         let mut p = TwoQPolicy::new(4);
         p.on_insert(BlockAddr(1), &req());
-        p.pop_victim(&req()); // 1 is evicted and remembered as a ghost
+        pop(&mut p); // 1 is evicted and remembered as a ghost
         assert_eq!(p.ghost_len(), 1);
         // The block's lifetime ends (TRIM) while it is not resident.
         p.on_trim_absent(BlockAddr(1));
@@ -225,10 +278,22 @@ mod tests {
         // Re-using the address is a first touch again: probation, not Am.
         p.on_insert(BlockAddr(1), &req());
         p.on_insert(BlockAddr(2), &req());
-        assert_eq!(
-            p.pop_victim(&req()),
-            Some(BlockAddr(1)),
-            "1 is probationary again"
-        );
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)), "1 is probationary again");
+    }
+
+    #[test]
+    fn external_evict_is_remembered_as_reuse_history() {
+        let mut p = TwoQPolicy::new(4);
+        p.on_insert(BlockAddr(1), &req());
+        // A compositor displaces the probationary block: 2Q exploits the
+        // hint by ghosting it, so the next touch of the address is a
+        // promotion to Am — unlike a TRIM, after which it would restart
+        // probation.
+        p.on_remove_reasoned(BlockAddr(1), CachePriority(2), RemoveReason::Evict);
+        assert_eq!(p.ghost_len(), 1);
+        p.on_insert(BlockAddr(1), &req());
+        p.on_insert(BlockAddr(2), &req());
+        // 2 (probation) evicts before the promoted 1.
+        assert_eq!(pop(&mut p), Some(BlockAddr(2)));
     }
 }

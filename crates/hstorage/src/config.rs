@@ -31,11 +31,13 @@ pub struct SystemConfig {
     /// transfer when the executor submits a scan batch. 1 (the default)
     /// disables merging — the paper-exact setting.
     pub storage_queue_depth: usize,
-    /// Replacement policy of the hStorage-DB cache engine. The default
-    /// (semantic priority) is the paper's policy; the other kinds run the
-    /// same engine behind a classical baseline, which is how the
-    /// policy-comparison experiment isolates the value of semantic
-    /// information. Ignored by the non-engine storage kinds.
+    /// Replacement policy of the hStorage-DB cache engine, knobs
+    /// included (CFLRU clean-first window, 2Q `Kin`/`Kout`, per-stream
+    /// routing). The default (semantic priority) is the paper's policy;
+    /// the other kinds run the same engine behind a classical baseline,
+    /// adaptive ARC or the per-stream compositor, which is how the
+    /// policy-comparison and knob-ablation experiments isolate the value
+    /// of semantic information. Ignored by the non-engine storage kinds.
     pub cache_policy: CachePolicyKind,
 }
 
@@ -111,9 +113,14 @@ impl SystemConfig {
         self
     }
 
-    /// Overrides the cache engine's replacement policy (e.g. for the
-    /// policy-comparison experiment).
+    /// Overrides the cache engine's replacement policy, including any
+    /// knob values the kind carries (e.g. for the policy-comparison and
+    /// knob-ablation experiments). Panics on out-of-range knobs, like
+    /// [`StorageConfig::with_cache_policy`].
     pub fn with_cache_policy(mut self, cache_policy: CachePolicyKind) -> Self {
+        cache_policy
+            .validate()
+            .expect("invalid cache-policy configuration");
         self.cache_policy = cache_policy;
         self
     }
@@ -171,10 +178,10 @@ mod tests {
         let batched = sharded.with_storage_queue_depth(32).with_io_batch_size(64);
         assert_eq!(batched.storage_config().queue_depth, 32);
         assert_eq!(batched.executor.io_batch_size, 64);
-        let swapped = batched.with_cache_policy(CachePolicyKind::Cflru);
+        let swapped = batched.with_cache_policy(CachePolicyKind::cflru());
         assert_eq!(
             swapped.storage_config().cache_policy,
-            CachePolicyKind::Cflru
+            CachePolicyKind::cflru()
         );
     }
 

@@ -10,7 +10,8 @@
 //! | [`fig11`] | Figure 11 and Table 8 — the power-test query sequence |
 //! | [`table9`] | Table 9 and Figure 12 — the concurrent throughput test |
 //! | [`ablation`] | Design-choice sweeps not in the paper (write-buffer size, priority-range width, TRIM on/off) |
-//! | [`policy_comparison`] | One cache engine under every selectable replacement policy (semantic priority vs LRU / CFLRU / 2Q) on a TPC-H mix |
+//! | [`policy_comparison`] | One cache engine under every selectable replacement policy (semantic priority vs LRU / CFLRU / 2Q / ARC / per-stream) on a TPC-H mix |
+//! | [`policy_ablation`] | Knob sweeps for the tunable policies (CFLRU clean-first window, 2Q `Kin`/`Kout`) with self-tuning ARC as the reference |
 //!
 //! Every driver takes the TPC-H scale to run at and returns a plain data
 //! structure with a `Display` implementation that prints the same rows the
@@ -22,6 +23,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig9;
+pub mod policy_ablation;
 pub mod policy_comparison;
 pub mod table9;
 

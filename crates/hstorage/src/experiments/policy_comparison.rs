@@ -158,13 +158,17 @@ mod tests {
     #[test]
     fn semantic_priority_beats_the_lru_baseline_on_the_mix() {
         let report = run(test_scale());
-        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows.len(), CachePolicyKind::all().len());
         // The paper's direction: semantic information wins on the same
         // engine, by a margin the fidelity gate's direction test sees.
         let speedup = report.semantic_over_lru().unwrap();
         assert!(speedup > 1.05, "semantic vs LRU speedup {speedup}");
         // And it wins against every caching-unaware baseline on this mix.
-        for kind in [CachePolicyKind::Cflru, CachePolicyKind::TwoQ] {
+        for kind in [
+            CachePolicyKind::cflru(),
+            CachePolicyKind::two_q(),
+            CachePolicyKind::Arc,
+        ] {
             let s = report.semantic_over(kind).unwrap();
             assert!(s > 1.0, "semantic vs {kind} speedup {s}");
         }

@@ -9,11 +9,11 @@
 //! totals (the logical traffic) are preserved while request counts shrink
 //! and service time drops.
 
-use hstorage_cache::{
-    CachePolicyKind, CacheStats, StorageConfig, StorageConfigKind, StorageSystem,
-};
+use hstorage_cache::{CacheStats, StorageConfig, StorageConfigKind, StorageSystem};
 use hstorage_storage::{BlockRange, ClassifiedRequest, IoRequest, QosPolicy, RequestClass};
 use proptest::prelude::*;
+
+mod common;
 
 // ---------------------------------------------------------------------------
 // Helpers
@@ -93,29 +93,39 @@ fn deterministic_trace() -> Vec<ClassifiedRequest> {
 }
 
 /// The four storage configurations, the sharded hybrid variant, and the
-/// cache engine under each non-default replacement policy (plus one
-/// sharded policy variant) — every policy must satisfy the same
-/// batch-vs-sequential contract as the semantic default.
-fn configurations() -> Vec<(&'static str, StorageConfig)> {
+/// cache engine under every matrix policy (unsharded *and* sharded) —
+/// every policy must satisfy the same batch-vs-sequential contract as the
+/// semantic default. The CI policy-matrix job focuses this list on one
+/// policy via the `HSTORAGE_POLICY` env var (see `common::matrix_kinds`).
+fn configurations() -> Vec<(String, StorageConfig)> {
     let base = |kind| StorageConfig::new(kind, 4_096);
     let engine = |policy| base(StorageConfigKind::HStorageDb).with_cache_policy(policy);
-    vec![
-        ("hdd-only", base(StorageConfigKind::HddOnly)),
-        ("ssd-only", base(StorageConfigKind::SsdOnly)),
-        ("lru", base(StorageConfigKind::Lru)),
-        ("hybrid-unsharded", base(StorageConfigKind::HStorageDb)),
+    let mut configs = vec![
+        ("hdd-only".to_string(), base(StorageConfigKind::HddOnly)),
+        ("ssd-only".to_string(), base(StorageConfigKind::SsdOnly)),
+        ("lru".to_string(), base(StorageConfigKind::Lru)),
         (
-            "hybrid-sharded",
+            "hybrid-unsharded".to_string(),
+            base(StorageConfigKind::HStorageDb),
+        ),
+        (
+            "hybrid-sharded".to_string(),
             base(StorageConfigKind::HStorageDb).with_shards(8),
         ),
-        ("engine-lru", engine(CachePolicyKind::Lru)),
-        ("engine-cflru", engine(CachePolicyKind::Cflru)),
-        ("engine-2q", engine(CachePolicyKind::TwoQ)),
-        (
-            "engine-2q-sharded",
-            engine(CachePolicyKind::TwoQ).with_shards(8),
-        ),
-    ]
+    ];
+    for kind in common::matrix_kinds() {
+        // The semantic default is already covered byte-for-byte by the
+        // hybrid-unsharded / hybrid-sharded entries above.
+        if kind == hstorage_cache::CachePolicyKind::SemanticPriority {
+            continue;
+        }
+        configs.push((format!("engine-{kind}"), engine(kind)));
+        configs.push((
+            format!("engine-{kind}-sharded"),
+            engine(kind).with_shards(8),
+        ));
+    }
+    configs
 }
 
 /// Replays `reqs` one at a time on a fresh build of `config`.

@@ -1,0 +1,32 @@
+//! Helpers shared by the integration suites.
+
+use hstorage_cache::CachePolicyKind;
+
+/// Env var the CI policy matrix sets to focus the equivalence suites on a
+/// single replacement policy (one of [`CachePolicyKind::label`]'s values:
+/// `semantic-priority`, `lru`, `cflru`, `2q`, `arc`, `per-stream`).
+pub const POLICY_ENV: &str = "HSTORAGE_POLICY";
+
+/// The cache policies the equivalence suites run against: the single kind
+/// named by [`POLICY_ENV`] when it is set (the CI policy-matrix job), or
+/// every selectable kind otherwise (local `cargo test`). An unknown label
+/// panics so a matrix typo fails the job instead of silently testing the
+/// default.
+pub fn matrix_kinds() -> Vec<CachePolicyKind> {
+    match std::env::var(POLICY_ENV) {
+        Ok(label) => {
+            let kind = CachePolicyKind::from_label(&label).unwrap_or_else(|| {
+                panic!(
+                    "{POLICY_ENV}={label:?} names no cache policy; expected one of {}",
+                    CachePolicyKind::all()
+                        .iter()
+                        .map(|k| k.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            });
+            vec![kind]
+        }
+        Err(_) => CachePolicyKind::all().to_vec(),
+    }
+}

@@ -2,9 +2,7 @@
 //! equivalence of the hybrid cache, and agreement between the threaded
 //! driver, the deterministic slicer and plain single-query execution.
 
-use hstorage_cache::{
-    CachePolicyKind, CacheStats, HybridCache, StorageConfig, StorageConfigKind, StorageSystem,
-};
+use hstorage_cache::{CacheStats, HybridCache, StorageConfig, StorageConfigKind, StorageSystem};
 use hstorage_engine::{
     run_concurrent, run_threaded, Access, Catalog, ConcurrencyRegistry, ExecutorConfig, ObjectKind,
     OperatorKind, PlanNode, PlanTree, QueryExecutor, StreamSpec,
@@ -15,6 +13,8 @@ use hstorage_storage::{
 };
 use proptest::prelude::*;
 use std::sync::Arc;
+
+mod common;
 
 // ---------------------------------------------------------------------------
 // Sharded vs unsharded hybrid cache equivalence
@@ -151,7 +151,7 @@ fn sharded_and_unsharded_engines_agree_under_every_policy() {
     // observationally invisible no matter which replacement policy drives
     // the engine.
     let events = deterministic_trace();
-    for kind in CachePolicyKind::all() {
+    for kind in common::matrix_kinds() {
         let unsharded =
             HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
         let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
@@ -172,7 +172,7 @@ fn sharded_and_unsharded_engines_agree_under_every_policy() {
 fn concurrent_threads_are_fully_accounted_under_every_policy() {
     // Four threads on disjoint address ranges: every policy must account
     // every access exactly once through the lock-striped engine.
-    for kind in CachePolicyKind::all() {
+    for kind in common::matrix_kinds() {
         let cache = HybridCache::with_shard_count(PolicyConfig::paper_default(), 8_192, 8)
             .with_cache_policy(kind);
         std::thread::scope(|s| {
@@ -260,7 +260,7 @@ proptest! {
     fn sharded_engine_equivalence_holds_for_every_policy(
         requests in prop::collection::vec(arb_bounded_request(), 1..100),
     ) {
-        for kind in [CachePolicyKind::Lru, CachePolicyKind::Cflru, CachePolicyKind::TwoQ] {
+        for kind in common::matrix_kinds() {
             let unsharded =
                 HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
             let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
