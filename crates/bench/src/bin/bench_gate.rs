@@ -9,8 +9,10 @@
 //! batched submission is not strictly faster than per-request submission
 //! (the vectored-path acceptance criterion).
 //!
-//! All row values are oriented so that **higher is better** (throughputs
-//! and speedup ratios). Not every row is gated:
+//! Most row values are oriented so that **higher is better** (throughputs
+//! and speedup ratios); the service request-latency percentile rows are
+//! **lower is better** and are gated with the mirrored condition (fail when
+//! measured exceeds baseline ÷ 0.75). Not every row is gated:
 //!
 //! * `sim:` rows are measured in *simulated* device time, which is
 //!   deterministic — identical on every machine — so any drift is a real
@@ -19,7 +21,10 @@
 //!   hit-ratio row per selectable cache policy, so a silent change to any
 //!   replacement algorithm fails the gate; on top of the baseline
 //!   comparison, ARC's hit ratio must never fall below engine-LRU's (the
-//!   adaptive policy's acceptance criterion).
+//!   adaptive policy's acceptance criterion). The query-service rows run a
+//!   fixed stream workload through the bounded-worker service at one
+//!   worker — fully deterministic — and gate the simulated p50/p99/p999
+//!   request latencies.
 //! * The wall-clock *speedup ratio* is machine-robust (both sides run on
 //!   the same machine in the same process). Gated.
 //! * Absolute wall-clock throughputs vary with the runner's hardware, so
@@ -45,7 +50,8 @@
 
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
-    drive, fresh_cache, mixed_policy_run, random_read, scan_read, QUEUE_DEPTH, TOTAL_SUBMITS,
+    drive, fresh_cache, mixed_policy_run, random_read, scan_read, service_latency_percentiles,
+    QUEUE_DEPTH, TOTAL_SUBMITS,
 };
 use hstorage_cache::{CachePolicyKind, StorageSystem};
 use std::time::Instant;
@@ -55,13 +61,17 @@ const WALL_RUNS: usize = 5;
 const REGRESSION_FLOOR: f64 = 0.75;
 
 /// One gate metric: value measured this run, whether the 25% baseline
-/// comparison applies to it, and whether the measurement is deterministic
-/// (simulated time — identical on every machine).
+/// comparison applies to it, whether the measurement is deterministic
+/// (simulated time — identical on every machine), and its orientation
+/// (latency rows are lower-is-better; everything else higher-is-better).
+/// The orientation is in-memory only — the JSON rows stay shape-compatible
+/// with `PaperComparison`.
 struct Measurement {
     metric: String,
     value: f64,
     gated: bool,
     deterministic: bool,
+    lower_is_better: bool,
 }
 
 /// Median wall-clock submits/second over [`WALL_RUNS`] fresh-cache runs of
@@ -136,36 +146,42 @@ fn main() {
             value: wall_single,
             gated: false,
             deterministic: false,
+            lower_is_better: false,
         },
         Measurement {
             metric: "wall: scan batch=64 submit throughput (submits/s)".into(),
             value: wall_batch64,
             gated: false,
             deterministic: false,
+            lower_is_better: false,
         },
         Measurement {
             metric: "wall: scan batch=64 speedup over single submit (x)".into(),
             value: wall_batch64 / wall_single,
             gated: true,
             deterministic: false,
+            lower_is_better: false,
         },
         Measurement {
             metric: "sim: scan device throughput at queue depth 32 (submits/sim-s)".into(),
             value: TOTAL_SUBMITS as f64 / sim_batched,
             gated: true,
             deterministic: true,
+            lower_is_better: false,
         },
         Measurement {
             metric: "sim: scan queue-merge device-time speedup at depth 32 (x)".into(),
             value: sim_unbatched / sim_batched,
             gated: true,
             deterministic: true,
+            lower_is_better: false,
         },
         Measurement {
             metric: "sim: random workload device throughput (submits/sim-s)".into(),
             value: TOTAL_SUBMITS as f64 / sim_random,
             gated: true,
             deterministic: true,
+            lower_is_better: false,
         },
     ];
     // One mixed-workload run per selectable policy contributes two
@@ -183,14 +199,30 @@ fn main() {
             value: TOTAL_SUBMITS as f64 / sim_seconds,
             gated: true,
             deterministic: true,
+            lower_is_better: false,
         });
         measurements.push(Measurement {
             metric: format!("sim: {} policy mixed-workload hit ratio", kind.label()),
             value: hit_ratio,
             gated: true,
             deterministic: true,
+            lower_is_better: false,
         });
         policy_hit_ratio.push((kind, hit_ratio));
+    }
+    // Query-service request-latency percentiles at one worker: simulated,
+    // so bit-identical on every machine. Gated lower-is-better — a tail
+    // blow-up in the executor, the storage model or the service's
+    // scheduling fails the gate even if throughput rows stay flat.
+    let (lat_p50, lat_p99, lat_p999) = service_latency_percentiles();
+    for (name, value) in [("p50", lat_p50), ("p99", lat_p99), ("p999", lat_p999)] {
+        measurements.push(Measurement {
+            metric: format!("sim: service 1-worker request latency {name} (sim-ms)"),
+            value,
+            gated: true,
+            deterministic: true,
+            lower_is_better: true,
+        });
     }
 
     if write_baseline || update_baseline {
@@ -340,7 +372,22 @@ fn main() {
         ));
     }
     for (m, row) in measurements.iter().zip(&report) {
-        if m.gated && row.measured < REGRESSION_FLOOR * row.paper {
+        if !m.gated {
+            continue;
+        }
+        // Lower-is-better rows (latencies) gate with the mirrored
+        // condition: fail when measured exceeds baseline / floor.
+        if m.lower_is_better {
+            if row.measured > row.paper / REGRESSION_FLOOR {
+                failures.push(format!(
+                    "{}: measured {:.3} exceeds baseline {:.3} by more than {:.0}%",
+                    row.metric,
+                    row.measured,
+                    row.paper,
+                    (1.0 / REGRESSION_FLOOR - 1.0) * 100.0
+                ));
+            }
+        } else if row.measured < REGRESSION_FLOOR * row.paper {
             failures.push(format!(
                 "{}: measured {:.3} is below {:.0}% of baseline {:.3}",
                 row.metric,

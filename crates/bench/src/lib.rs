@@ -32,10 +32,17 @@ pub fn report_concurrency_scale() -> TpchScale {
 /// inspects a regression the gate reports — so the request shapes, cache
 /// construction and drive loop live here, once.
 pub mod workload {
-    use hstorage_cache::{CachePolicyKind, HybridCache, StorageSystem};
+    use hstorage_cache::{
+        CachePolicyKind, HybridCache, StorageConfig, StorageConfigKind, StorageSystem,
+    };
+    use hstorage_engine::{
+        run_streams_service, Access, Catalog, ConcurrencyRegistry, ExecutorConfig, ObjectKind,
+        OperatorKind, PlanNode, PlanTree, ServiceConfig, StreamSpec,
+    };
     use hstorage_storage::{
         BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass,
     };
+    use std::sync::Arc;
 
     /// Cache capacity in blocks.
     pub const BLOCKS: u64 = 4_096;
@@ -160,6 +167,91 @@ pub mod workload {
             cache.submit_batch(buf);
         }
         cache.resident_blocks()
+    }
+
+    /// Runs a fixed mixed-shape query workload through the query service
+    /// at **one worker** — fully deterministic: the closed-loop driver
+    /// executes every stream's head query in stream order, then the
+    /// follow-ups generation by generation — and returns the simulated
+    /// per-request latency percentiles in milliseconds: `(p50, p99, p999)`.
+    ///
+    /// The workload mixes sequential scans, random index lookups and
+    /// temporary spills across 24 streams so the latency distribution has
+    /// a genuine tail; being simulated device time, the percentiles are
+    /// bit-identical on every machine and serve as gated CI rows.
+    pub fn service_latency_percentiles() -> (f64, f64, f64) {
+        let mut catalog = Catalog::new();
+        let table = catalog.register("orders", ObjectKind::Table, BlockRange::new(0u64, 600));
+        let index = catalog.register("idx", ObjectKind::Index, BlockRange::new(20_000u64, 80));
+        catalog.set_temp_region(BlockRange::new(50_000u64, 2_000));
+        let seq = |passes| {
+            PlanTree::new(
+                "seq",
+                PlanNode::leaf(OperatorKind::SeqScan, Access::SeqScan { table, passes }),
+            )
+        };
+        let lookup = |lookups| {
+            PlanTree::new(
+                "rand",
+                PlanNode::leaf(
+                    OperatorKind::IndexScan,
+                    Access::IndexScan {
+                        index,
+                        table,
+                        lookups,
+                        index_hot_fraction: 0.5,
+                        table_hot_fraction: 0.2,
+                    },
+                ),
+            )
+        };
+        let spill = |blocks| {
+            PlanTree::new(
+                "spill",
+                PlanNode::leaf(
+                    OperatorKind::Hash,
+                    Access::TempSpill {
+                        blocks,
+                        read_passes: 1,
+                    },
+                ),
+            )
+        };
+        let streams: Vec<StreamSpec> = (0..24u64)
+            .map(|i| StreamSpec {
+                name: format!("s{i}"),
+                queries: match i % 4 {
+                    0 => vec![seq(1), lookup(40)],
+                    1 => vec![lookup(80), spill(24)],
+                    2 => vec![spill(48), seq(1)],
+                    _ => vec![lookup(20), seq(2)],
+                },
+            })
+            .collect();
+        let storage: Arc<dyn StorageSystem> =
+            StorageConfig::new(StorageConfigKind::HStorageDb, BLOCKS).build_shared();
+        let registry = ConcurrencyRegistry::new();
+        let report = run_streams_service(
+            ExecutorConfig {
+                buffer_pool_blocks: 128,
+                ..ExecutorConfig::default()
+            },
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 8,
+            },
+            PolicyConfig::paper_default(),
+            &registry,
+            &streams,
+            &catalog,
+            &storage,
+        );
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        (
+            ms(report.latency.p50().expect("non-empty workload")),
+            ms(report.latency.p99().expect("non-empty workload")),
+            ms(report.latency.p999().expect("non-empty workload")),
+        )
     }
 
     /// Runs the mixed workload once under `kind` and returns the two

@@ -77,21 +77,39 @@ impl Shard {
         }
     }
 
-    /// Evicts `victim` (already removed from the policy's structures),
-    /// writing it back if dirty.
+    /// Evicts `victim` (a block the policy *selected* via
+    /// `pop_victim`/`steal_victim` but still tracks), writing it back if
+    /// dirty. The engine completes the removal by announcing it to the
+    /// policy with [`RemoveReason::Evict`], so ghost-keeping policies
+    /// observe their own evictions.
     fn evict(&mut self, victim: BlockAddr, batch: &mut DeviceBatch) {
         let entry = self
             .meta
             .remove(victim)
             .expect("victim tracked by policy but not in metadata");
+        self.policy
+            .on_remove_reasoned(victim, entry.priority, RemoveReason::Evict);
         if entry.is_dirty() {
             batch.hdd_write += 1;
         }
         if self.policy.write_buffered(entry.priority) {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+            self.debit_write_buffer(1);
         }
         self.alloc.release(entry.pbn);
         self.stats.record_action(CacheAction::Eviction, 1);
+    }
+
+    /// Deducts `n` blocks from the write-buffer occupancy. An underflow
+    /// would mean the insert/move/remove accounting diverged from the
+    /// policy's group labelling — a bug worth failing loudly on, not one
+    /// to paper over with silent saturation.
+    fn debit_write_buffer(&mut self, n: u64) {
+        debug_assert!(
+            self.write_buffer_resident >= n,
+            "write-buffer occupancy underflow: resident {} < debit {n}",
+            self.write_buffer_resident
+        );
+        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(n);
     }
 
     /// Tries to obtain a free cache slot for `incoming` (the missing
@@ -200,7 +218,7 @@ impl Shard {
         let was_buffered = self.policy.write_buffered(old);
         let is_buffered = self.policy.write_buffered(new);
         if was_buffered && !is_buffered {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+            self.debit_write_buffer(1);
         } else if is_buffered && !was_buffered {
             self.write_buffer_resident += 1;
         }
@@ -220,6 +238,12 @@ impl Shard {
         let mut removed = 0u64;
         for lbn in buffered {
             if let Some(entry) = self.meta.remove(lbn) {
+                // The drain names buffered blocks without untracking them;
+                // the engine completes each removal. A drain is an engine
+                // displacement, so ghost-keeping policies see `Evict`, not
+                // `Trim` (the block's data is still live on the HDD).
+                self.policy
+                    .on_remove_reasoned(lbn, entry.priority, RemoveReason::Evict);
                 if entry.is_dirty() {
                     dirty_blocks += 1;
                 }
@@ -230,7 +254,7 @@ impl Shard {
         // Deduct what was actually drained (for a complete drain — every
         // shipped policy — this zeroes the counter) so a policy whose
         // drain is partial cannot desynchronize the occupancy accounting.
-        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(removed);
+        self.debit_write_buffer(removed);
         self.stats
             .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
         Some(dirty_blocks)
@@ -248,7 +272,7 @@ impl Shard {
         self.policy
             .on_remove_reasoned(lbn, entry.priority, RemoveReason::Trim);
         if self.policy.write_buffered(entry.priority) {
-            self.write_buffer_resident = self.write_buffer_resident.saturating_sub(1);
+            self.debit_write_buffer(1);
         }
         self.alloc.release(entry.pbn);
         1
@@ -1155,6 +1179,169 @@ mod tests {
             twin.contains_block(BlockAddr(3)),
             "stale ghost must not change the re-used address's fate"
         );
+    }
+
+    #[test]
+    fn eviction_ghosts_a_2q_block_but_trim_forgets_it() {
+        // The engine now announces its own displacements with
+        // `RemoveReason::Evict`, so 2Q's probationary ghost list diverges
+        // between the two ways a block can leave: evicted → remembered in
+        // a1out (re-use is ghost-promoted straight to Am), trimmed →
+        // forgotten (re-use restarts probation).
+        let build = |trim_after_evict: bool| {
+            let c = engine(CachePolicyKind::two_q(), 8); // kin = 2
+            c.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
+            // Fill the cache and push one more block: the probationary LRU
+            // (block 3) is evicted and lands on the ghost list.
+            for i in 10..18u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+            }
+            assert!(!c.contains_block(BlockAddr(3)), "block 3 must be evicted");
+            if trim_after_evict {
+                c.trim(&TrimCommand::single(BlockRange::new(3u64, 1)));
+            }
+            // Re-use the address, then churn fresh probationary blocks.
+            c.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
+            for i in 100..110u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+            }
+            c.contains_block(BlockAddr(3))
+        };
+        assert!(
+            build(false),
+            "an engine-evicted block must be ghost-promoted to Am on re-use"
+        );
+        assert!(
+            !build(true),
+            "a trimmed ghost must restart probation and churn out with a1in"
+        );
+    }
+
+    #[test]
+    fn eviction_ghosts_an_arc_block_but_trim_forgets_it() {
+        // Same divergence for ARC's B1 ghost list: an evicted T1 block is
+        // remembered (re-use is a ghost hit into T2 and survives T1 churn);
+        // a trimmed one is forgotten (re-use restarts in T1 and churns out).
+        let build = |trim_after_evict: bool| {
+            let c = engine(CachePolicyKind::Arc, 8);
+            // Warm a hot set into T2 first so T1 stays narrow — ARC bounds
+            // |T1| + |B1| by the capacity, and a full-width T1 would push
+            // the block-3 ghost out of B1 before its re-use.
+            for _ in 0..2 {
+                for i in 20..24u64 {
+                    c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+                }
+            }
+            c.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
+            for i in 10..14u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+            }
+            assert!(!c.contains_block(BlockAddr(3)), "block 3 must be evicted");
+            if trim_after_evict {
+                c.trim(&TrimCommand::single(BlockRange::new(3u64, 1)));
+            }
+            c.submit(read_req(3, 1, RequestClass::Random, QosPolicy::priority(2)));
+            for i in 100..110u64 {
+                c.submit(read_req(i, 1, RequestClass::Random, QosPolicy::priority(2)));
+            }
+            c.contains_block(BlockAddr(3))
+        };
+        assert!(
+            build(false),
+            "an engine-evicted block must be a B1 ghost hit into T2 on re-use"
+        );
+        assert!(
+            !build(true),
+            "a trimmed ghost must restart in T1 and churn out"
+        );
+    }
+
+    #[test]
+    fn trimming_a_clean_write_buffered_block_debits_its_occupancy() {
+        // A read admitted under the WriteBuffer QoS is a *clean* group-0
+        // resident; trimming it must debit the occupancy counter exactly
+        // once. An over-count (the bug the old silent saturation could
+        // mask) would surface below as a premature flush.
+        let c = engine(CachePolicyKind::SemanticPriority, 100); // limit 10
+        assert_eq!(c.write_buffer_limit(), 10);
+        c.submit(read_req(7, 1, RequestClass::Update, QosPolicy::WriteBuffer));
+        assert_eq!(c.cached_priority(BlockAddr(7)), Some(CachePriority(0)));
+        assert_eq!(c.write_buffer_resident(), 1);
+        c.trim(&TrimCommand::single(BlockRange::new(7u64, 1)));
+        assert_eq!(c.write_buffer_resident(), 0);
+        // The counter is exact afterwards: exactly `limit` buffered writes
+        // fit without a flush, and one more drains.
+        for i in 100..110u64 {
+            c.submit(write_req(
+                i,
+                1,
+                RequestClass::Update,
+                QosPolicy::WriteBuffer,
+            ));
+        }
+        assert_eq!(c.write_buffer_resident(), 10);
+        assert_eq!(c.stats().action(CacheAction::WriteBufferFlush), 0);
+        c.submit(write_req(
+            110,
+            1,
+            RequestClass::Update,
+            QosPolicy::WriteBuffer,
+        ));
+        assert_eq!(c.write_buffer_resident(), 0);
+        assert_eq!(c.stats().action(CacheAction::WriteBufferFlush), 11);
+    }
+
+    #[test]
+    fn write_buffer_occupancy_tracks_resident_group_zero_exactly() {
+        // Differential check of the occupancy counter against ground truth
+        // (the number of resident blocks whose metadata group is 0) under
+        // randomized buffered/regular/trim traffic, for both policies that
+        // maintain a write buffer.
+        for kind in [
+            CachePolicyKind::SemanticPriority,
+            CachePolicyKind::per_stream(),
+        ] {
+            let c = engine(kind, 64); // limit 6
+            let mut state = 0x5707_ACEDu64;
+            let mut rng = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            for _ in 0..600 {
+                let addr = rng() % 80;
+                match rng() % 5 {
+                    0 => c.submit(write_req(
+                        addr,
+                        1,
+                        RequestClass::Update,
+                        QosPolicy::WriteBuffer,
+                    )),
+                    1 => c.submit(read_req(
+                        addr,
+                        1,
+                        RequestClass::Update,
+                        QosPolicy::WriteBuffer,
+                    )),
+                    2 => c.submit(read_req(
+                        addr,
+                        1,
+                        RequestClass::Random,
+                        QosPolicy::priority(2),
+                    )),
+                    3 => c.submit(write_req(
+                        addr,
+                        1,
+                        RequestClass::TemporaryData,
+                        QosPolicy::priority(1),
+                    )),
+                    _ => c.trim(&TrimCommand::single(BlockRange::new(addr, 2))),
+                }
+                let ground_truth = (0..80u64)
+                    .filter(|&l| c.cached_priority(BlockAddr(l)) == Some(CachePriority(0)))
+                    .count() as u64;
+                assert_eq!(c.write_buffer_resident(), ground_truth, "{kind}");
+            }
+        }
     }
 
     #[test]

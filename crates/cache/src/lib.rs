@@ -52,6 +52,6 @@ pub use policy::{
     CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason, StreamPolicyKind,
     StreamRouting,
 };
-pub use stats::{CacheAction, CacheStats, ClassCounters};
+pub use stats::{CacheAction, CacheStats, ClassCounters, LatencyHistogram};
 pub use system::StorageSystem;
 pub use trace::{Trace, TraceEvent, TraceRecorder};

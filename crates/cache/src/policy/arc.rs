@@ -19,8 +19,11 @@
 //!   (before `REPLACE`, as in the paper) when the shard is full, or in
 //!   [`CachePolicy::on_insert`] when a free slot made `REPLACE`
 //!   unnecessary — an internal marker prevents double adaptation;
-//! * `REPLACE` *is* `pop_victim`, including the `x ∈ B2` tie-break, which
-//!   is why the trait passes the incoming block address;
+//! * `REPLACE` is split across the selection-only `pop_victim` (which
+//!   picks the list and victim, including the `x ∈ B2` tie-break — why
+//!   the trait passes the incoming block address) and the engine's
+//!   follow-up `on_remove_reasoned` with `Evict`, which untracks the
+//!   victim and remembers it in the matching ghost directory;
 //! * the directory bound (`|T1| + |B1| ≤ c`, total ≤ `2c`) is enforced at
 //!   insertion of a complete miss, as in the paper's case IV.
 
@@ -96,26 +99,24 @@ impl ArcPolicy {
         self.b2.len()
     }
 
-    /// `REPLACE` (paper Fig. 4): evict from `T1` while it exceeds its
-    /// target — with a tie-break toward `T1` when `prefer_t1_on_tie` (the
-    /// miss is a `B2` ghost hit) — otherwise from `T2`. The victim is
-    /// remembered in the matching ghost directory.
-    fn replace(&mut self, prefer_t1_on_tie: bool) -> Option<BlockAddr> {
+    /// The selection half of `REPLACE` (paper Fig. 4): name the victim
+    /// from `T1` while it exceeds its target — with a tie-break toward
+    /// `T1` when `prefer_t1_on_tie` (the miss is a `B2` ghost hit) —
+    /// otherwise from `T2`, without removing it. The engine's Evict
+    /// notification completes the step, moving the victim into the
+    /// matching ghost directory (see
+    /// [`CachePolicy::on_remove_reasoned`]).
+    fn peek_replace(&self, prefer_t1_on_tie: bool) -> Option<BlockAddr> {
         let from_t1 = !self.t1.is_empty()
             && (self.t1.len() > self.p || (self.t1.len() == self.p && prefer_t1_on_tie));
         if from_t1 {
-            let victim = self.t1.pop_lru().expect("T1 checked non-empty");
-            self.b1.remember(victim);
-            return Some(victim);
+            return self.t1.peek_lru().copied();
         }
-        if let Some(victim) = self.t2.pop_lru() {
-            self.b2.remember(victim);
+        if let Some(&victim) = self.t2.peek_lru() {
             return Some(victim);
         }
         // T2 empty (e.g. p ≥ |T1| on a cold full shard): fall back to T1.
-        let victim = self.t1.pop_lru()?;
-        self.b1.remember(victim);
-        Some(victim)
+        self.t1.peek_lru().copied()
     }
 
     /// Applies the ghost-hit adaptation of `p` for a miss on `lbn`, at
@@ -165,14 +166,14 @@ impl CachePolicy for ArcPolicy {
         // apply the paper's tie-break toward T1 when the miss is a B2
         // ghost hit.
         self.maybe_adapt(incoming);
-        self.replace(self.b2.contains(incoming))
+        self.peek_replace(self.b2.contains(incoming))
     }
 
     fn steal_victim(&mut self, _req: &PolicyRequest) -> Option<BlockAddr> {
         // The freed slot will host another stream's block that this
         // policy never tracks: plain REPLACE under the current p, with no
         // ghost consultation and no adaptation for the foreign address.
-        self.replace(false)
+        self.peek_replace(false)
     }
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
@@ -224,8 +225,10 @@ impl CachePolicy for ArcPolicy {
                 self.b2.forget(lbn);
             }
             RemoveReason::Evict => {
-                // Externally displaced but still live: remember it exactly
-                // like one of our own REPLACE victims.
+                // The removal half of REPLACE (whether the victim was our
+                // own selection or a compositor steal): untrack the block
+                // and remember it in the ghost directory of the list it
+                // left.
                 if self.t1.remove(&lbn) {
                     self.b1.remember(lbn);
                 } else if self.t2.remove(&lbn) {
@@ -285,6 +288,12 @@ mod tests {
                 match self.policy.pop_victim(lbn, &req()) {
                     Some(victim) => {
                         assert!(self.resident.remove(&victim), "victim {victim:?} tracked");
+                        // The engine completes the eviction it was handed.
+                        self.policy.on_remove_reasoned(
+                            victim,
+                            CachePriority(2),
+                            RemoveReason::Evict,
+                        );
                     }
                     None => return, // bypass
                 }
@@ -462,9 +471,11 @@ mod tests {
         p.on_insert(BlockAddr(1), &req());
         p.on_insert(BlockAddr(2), &req());
         let p_before = p.p();
-        // A compositor steals a slot for a foreign block: plain REPLACE.
+        // A compositor steals a slot for a foreign block: plain REPLACE,
+        // completed by the engine's Evict notification.
         let victim = p.steal_victim(&req()).expect("resident blocks exist");
         assert_eq!(victim, BlockAddr(1), "T1 LRU under p = 0");
+        p.on_remove_reasoned(victim, CachePriority(2), RemoveReason::Evict);
         assert_eq!(p.p(), p_before, "no adaptation for a foreign insert");
         assert!(p.b1.contains(BlockAddr(1)), "victim ghosted as usual");
         // A later genuine miss on the ghost still adapts normally.

@@ -77,22 +77,16 @@ impl CachePolicy for CflruPolicy {
     }
 
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
-        let clean = self
-            .stack
+        // Selection only (the engine's Evict notification untracks the
+        // block via `on_remove`): prefer the oldest clean block inside the
+        // window; whole window dirty → plain LRU fallback (pays the
+        // write-back).
+        self.stack
             .iter_lru()
             .take(self.window)
             .find(|lbn| !self.dirty.contains(lbn))
-            .copied();
-        let victim = match clean {
-            Some(lbn) => {
-                self.stack.remove(&lbn);
-                lbn
-            }
-            // Whole window dirty: plain LRU fallback (pays the write-back).
-            None => self.stack.pop_lru()?,
-        };
-        self.dirty.remove(&victim);
-        Some(victim)
+            .copied()
+            .or_else(|| self.stack.peek_lru().copied())
     }
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
@@ -115,6 +109,7 @@ impl CachePolicy for CflruPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::RemoveReason;
     use hstorage_storage::{PolicyConfig, QosPolicy, RequestClass};
 
     fn req(direction: Direction) -> PolicyRequest {
@@ -127,8 +122,12 @@ mod tests {
         }
     }
 
+    /// Emulates the engine: select a victim, then complete the eviction
+    /// with the reasoned removal notification.
     fn pop(p: &mut CflruPolicy) -> Option<BlockAddr> {
-        p.pop_victim(BlockAddr(u64::MAX), &req(Direction::Read))
+        let victim = p.pop_victim(BlockAddr(u64::MAX), &req(Direction::Read))?;
+        p.on_remove_reasoned(victim, CachePriority(2), RemoveReason::Evict);
+        Some(victim)
     }
 
     #[test]

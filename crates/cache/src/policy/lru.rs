@@ -38,7 +38,9 @@ impl CachePolicy for LruPolicy {
     }
 
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
-        self.stack.pop_lru()
+        // Selection only: the block leaves the stack when the engine's
+        // Evict notification reaches `on_remove`.
+        self.stack.peek_lru().copied()
     }
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
@@ -56,6 +58,7 @@ impl CachePolicy for LruPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::RemoveReason;
     use hstorage_storage::{Direction, PolicyConfig, QosPolicy, RequestClass};
 
     fn req(qos: QosPolicy) -> PolicyRequest {
@@ -68,8 +71,12 @@ mod tests {
         }
     }
 
+    /// Emulates the engine: select a victim, then complete the eviction
+    /// with the reasoned removal notification.
     fn pop(p: &mut LruPolicy, req: &PolicyRequest) -> Option<BlockAddr> {
-        p.pop_victim(BlockAddr(u64::MAX), req)
+        let victim = p.pop_victim(BlockAddr(u64::MAX), req)?;
+        p.on_remove_reasoned(victim, req.prio, RemoveReason::Evict);
+        Some(victim)
     }
 
     #[test]

@@ -89,8 +89,9 @@ pub enum RemoveReason {
     /// must forget everything about the address (like the semantic
     /// policy's end-of-lifetime handling of `NonCachingEviction` data).
     Trim,
-    /// The block was displaced by something outside the policy's own
-    /// victim selection (e.g. a compositor rebalancing streams). The
+    /// The engine displaced the block — it was selected by
+    /// [`CachePolicy::pop_victim`] / [`CachePolicy::steal_victim`] or
+    /// swept up by a write-buffer drain — and its slot was released. The
     /// address is still live, so ghost-keeping policies may remember it
     /// exactly as they would one of their own evictions.
     Evict,
@@ -104,10 +105,18 @@ pub enum RemoveReason {
 /// them consistent with the engine's resident set:
 ///
 /// * every block passed to [`CachePolicy::on_insert`] is tracked until the
-///   policy itself returns it from [`CachePolicy::pop_victim`] /
-///   [`CachePolicy::drain_write_buffer`], or the engine announces its
-///   removal via [`CachePolicy::on_remove_reasoned`] (TRIM);
-/// * [`CachePolicy::pop_victim`] must only ever return *tracked* blocks.
+///   engine announces its removal via
+///   [`CachePolicy::on_remove_reasoned`] — with [`RemoveReason::Trim`]
+///   when a TRIM invalidates it, with [`RemoveReason::Evict`] when the
+///   engine releases the slot itself (after the policy selected the block
+///   via [`CachePolicy::pop_victim`] / [`CachePolicy::steal_victim`], or
+///   after a write-buffer drain returned it);
+/// * [`CachePolicy::pop_victim`], [`CachePolicy::steal_victim`] and
+///   [`CachePolicy::drain_write_buffer`] are **selection-only**: they name
+///   tracked blocks without untracking them — the follow-up
+///   `on_remove_reasoned(…, Evict)` call does that. (Legacy policies that
+///   eagerly untrack inside `pop_victim` keep working, because the default
+///   removal hooks tolerate already-absent blocks.)
 ///
 /// # Worked example: a custom FIFO policy
 ///
@@ -144,7 +153,10 @@ pub enum RemoveReason {
 ///     }
 ///
 ///     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
-///         self.queue.pop_front()
+///         // Selection only: the engine follows up with
+///         // `on_remove_reasoned(…, RemoveReason::Evict)`, which lands in
+///         // `on_remove` below and dequeues the block.
+///         self.queue.front().copied()
 ///     }
 ///
 ///     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
@@ -190,20 +202,24 @@ pub trait CachePolicy: Send {
     fn admits(&self, req: &PolicyRequest) -> bool;
 
     /// The shard is full and `incoming` (the missing block of `req`) was
-    /// admitted: remove and return the block to displace, or `None` if
-    /// the incoming block is not worth a resident one (the request then
-    /// bypasses the cache). Most policies ignore `incoming`; ARC consults
-    /// its ghost lists for it to bias the recency/frequency trade-off of
-    /// its `REPLACE` step.
+    /// admitted: name the tracked block to displace, or `None` if the
+    /// incoming block is not worth a resident one (the request then
+    /// bypasses the cache). This is **selection-only** — the policy keeps
+    /// tracking the named block until the engine completes the eviction
+    /// with [`CachePolicy::on_remove_reasoned`] and
+    /// [`RemoveReason::Evict`]. Most policies ignore `incoming`; ARC
+    /// consults its ghost lists for it to bias the recency/frequency
+    /// trade-off of its `REPLACE` step.
     fn pop_victim(&mut self, incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr>;
 
-    /// Like [`CachePolicy::pop_victim`], but on behalf of a block this
-    /// policy will **never** track — a compositor stealing space for
-    /// another stream's insert. Implementations must not update any
-    /// per-address state for the request (ARC overrides this to skip its
-    /// ghost-hit adaptation of `p`); the default simply delegates with a
-    /// sentinel address, which is correct for every policy whose victim
-    /// choice ignores the incoming block.
+    /// Like [`CachePolicy::pop_victim`] (and equally selection-only), but
+    /// on behalf of a block this policy will **never** track — a
+    /// compositor stealing space for another stream's insert.
+    /// Implementations must not update any per-address state for the
+    /// request (ARC overrides this to skip its ghost-hit adaptation of
+    /// `p`); the default simply delegates with a sentinel address, which
+    /// is correct for every policy whose victim choice ignores the
+    /// incoming block.
     fn steal_victim(&mut self, req: &PolicyRequest) -> Option<BlockAddr> {
         self.pop_victim(BlockAddr(u64::MAX), req)
     }
@@ -213,16 +229,19 @@ pub trait CachePolicy: Send {
     /// metadata (and handed back via `current` on later events).
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority;
 
-    /// `lbn` (labelled `group`) was removed by the engine for a reason the
-    /// policy did not initiate (TRIM invalidation): stop tracking it.
+    /// `lbn` (labelled `group`) is gone from the engine's resident set —
+    /// a TRIM invalidated it, or the engine completed an eviction the
+    /// policy selected: stop tracking it. Must tolerate blocks that are
+    /// already untracked.
     fn on_remove(&mut self, lbn: BlockAddr, group: CachePriority);
 
     /// Reason-aware variant of [`CachePolicy::on_remove`]: the engine (or
     /// a compositor) reports *why* the block went away, so policies can
     /// exploit lifetime hints — a [`RemoveReason::Trim`] means the address
     /// is dead and any ghost history for it must be dropped, while a
-    /// [`RemoveReason::Evict`] is an ordinary displacement the policy may
-    /// remember like one of its own evictions. The default forwards to
+    /// [`RemoveReason::Evict`] completes a displacement the policy (or a
+    /// sibling stream's steal) selected, which ghost-keeping policies may
+    /// remember like one of their own evictions. The default forwards to
     /// [`CachePolicy::on_remove`], so existing policies compile (and
     /// behave) unchanged.
     fn on_remove_reasoned(&mut self, lbn: BlockAddr, group: CachePriority, reason: RemoveReason) {
@@ -253,9 +272,11 @@ pub trait CachePolicy: Send {
         false
     }
 
-    /// Remove and return every write-buffered block (called by the engine
-    /// when the buffer exceeds its share of the cache). Policies without a
-    /// write buffer return nothing.
+    /// Name every write-buffered block (called by the engine when the
+    /// buffer exceeds its share of the cache). Selection-only, like
+    /// [`CachePolicy::pop_victim`]: the engine completes each removal via
+    /// [`CachePolicy::on_remove_reasoned`] with [`RemoveReason::Evict`].
+    /// Policies without a write buffer return nothing.
     fn drain_write_buffer(&mut self) -> Vec<BlockAddr> {
         Vec::new()
     }

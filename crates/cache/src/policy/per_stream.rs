@@ -359,12 +359,17 @@ impl CachePolicy for PerStreamPolicy {
         // bypasses. Only when the inner owns nothing is a victim stolen
         // from the other streams, in deterministic inner order, so a new
         // stream can carve space out of a cache another stream filled.
+        // Selection only: ownership bookkeeping (and the robbed inner's
+        // untracking/ghosting) happens when the engine completes the
+        // eviction via `on_remove_reasoned`.
         let primary = self.route_for(req);
         if self.owned[primary] > 0 {
             let victim = self.inners[primary].pop_victim(incoming, req)?;
-            let idx = self.owner.remove(&victim);
-            debug_assert_eq!(idx, Some(primary), "victim owned by its inner");
-            self.owned[primary] -= 1;
+            debug_assert_eq!(
+                self.owner.get(&victim),
+                Some(&primary),
+                "victim owned by its inner"
+            );
             return Some(victim);
         }
         for idx in (0..self.inners.len()).filter(|&i| i != primary) {
@@ -375,8 +380,11 @@ impl CachePolicy for PerStreamPolicy {
             // track, so the adaptation-free steal hook is used — ARC must
             // not tune `p` (or consume ghost state) for a foreign insert.
             if let Some(victim) = self.inners[idx].steal_victim(req) {
-                self.owner.remove(&victim);
-                self.owned[idx] -= 1;
+                debug_assert_eq!(
+                    self.owner.get(&victim),
+                    Some(&idx),
+                    "stolen victim owned by the robbed inner"
+                );
                 return Some(victim);
             }
         }
@@ -424,14 +432,12 @@ impl CachePolicy for PerStreamPolicy {
     }
 
     fn drain_write_buffer(&mut self) -> Vec<BlockAddr> {
+        // Selection only: the inners merely name their buffered blocks;
+        // ownership is released by the engine's per-block Evict
+        // notifications.
         let mut drained = Vec::new();
         for inner in &mut self.inners {
             drained.extend(inner.drain_write_buffer());
-        }
-        for lbn in &drained {
-            if let Some(idx) = self.owner.remove(lbn) {
-                self.owned[idx] -= 1;
-            }
         }
         drained
     }
@@ -528,8 +534,8 @@ mod tests {
             QosPolicy::priority(1),
             Direction::Write,
         );
-        let victim = p.pop_victim(BlockAddr(100), &temp);
-        assert!(victim.is_some());
+        let victim = p.pop_victim(BlockAddr(100), &temp).expect("steal succeeds");
+        p.on_remove_reasoned(victim, CachePriority(2), RemoveReason::Evict);
         assert_eq!(p.owned[1], 3, "ARC gave up one block");
     }
 
@@ -577,6 +583,7 @@ mod tests {
         p.on_insert(BlockAddr(3), &random);
         let victim = p.pop_victim(BlockAddr(4), &random).expect("2Q evicts");
         assert_eq!(victim, BlockAddr(3));
+        p.on_remove_reasoned(victim, CachePriority(2), RemoveReason::Evict);
         p.on_trim_absent(BlockAddr(3));
         p.on_insert(BlockAddr(3), &random);
         p.on_insert(BlockAddr(4), &random);
@@ -625,6 +632,10 @@ mod tests {
         let mut drained = p.drain_write_buffer();
         drained.sort();
         assert_eq!(drained, vec![BlockAddr(1)]);
+        // The engine completes the drain with one Evict per block.
+        for lbn in &drained {
+            p.on_remove_reasoned(*lbn, CachePriority(0), RemoveReason::Evict);
+        }
         assert_eq!(p.owned[0], 0);
         assert_eq!(p.owned[1], 1, "the ARC block stays");
     }
@@ -646,6 +657,7 @@ mod tests {
         assert_eq!(p.owned[0], 1, "owned by the buffering semantic inner");
         assert_eq!(p.owned[1], 0);
         assert_eq!(p.drain_write_buffer(), vec![BlockAddr(5)]);
+        p.on_remove_reasoned(BlockAddr(5), CachePriority(0), RemoveReason::Evict);
         assert_eq!(p.owned[0], 0);
     }
 
@@ -663,6 +675,7 @@ mod tests {
         p.on_hit(BlockAddr(101), CachePriority(2), &random); // 101 → T2
         let ghosted = p.pop_victim(BlockAddr(102), &random).expect("ARC evicts");
         assert_eq!(ghosted, BlockAddr(100));
+        p.on_remove_reasoned(ghosted, CachePriority(2), RemoveReason::Evict);
         p.on_insert(BlockAddr(102), &random);
         // A temp-stream miss for the ghosted address steals from ARC (the
         // semantic inner owns nothing): ARC must neither consume the
@@ -674,7 +687,8 @@ mod tests {
             QosPolicy::priority(1),
             Direction::Write,
         );
-        assert!(p.pop_victim(BlockAddr(100), &temp).is_some());
+        let stolen = p.pop_victim(BlockAddr(100), &temp).expect("steal succeeds");
+        p.on_remove_reasoned(stolen, CachePriority(2), RemoveReason::Evict);
         p.on_insert(BlockAddr(100), &temp); // owned by semantic now
         assert_eq!(p.owned[0], 1);
     }

@@ -78,10 +78,11 @@ impl CachePolicy for SemanticPriorityPolicy {
 
     fn pop_victim(&mut self, _incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr> {
         // Selective allocation: admit only if some resident block has an
-        // equal or lower priority (a numerically >= priority value).
-        let victim_prio = self.groups.lowest_occupied_priority()?;
+        // equal or lower priority (a numerically >= priority value). The
+        // victim stays in its group until the engine's Evict notification.
+        let (victim, victim_prio) = self.groups.peek_victim()?;
         if victim_prio.0 >= req.prio.0 {
-            self.groups.pop_victim().map(|(lbn, _)| lbn)
+            Some(victim)
         } else {
             None
         }
@@ -101,17 +102,16 @@ impl CachePolicy for SemanticPriorityPolicy {
     }
 
     fn drain_write_buffer(&mut self) -> Vec<BlockAddr> {
-        let buffered: Vec<BlockAddr> = self.groups.iter_group(CachePriority(0)).copied().collect();
-        for lbn in &buffered {
-            self.groups.remove(*lbn, CachePriority(0));
-        }
-        buffered
+        // Selection only: the engine untracks each block with an Evict
+        // notification as it releases the slots.
+        self.groups.iter_group(CachePriority(0)).copied().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::RemoveReason;
     use hstorage_storage::{Direction, RequestClass};
 
     fn req(qos: QosPolicy, config: &PolicyConfig) -> PolicyRequest {
@@ -123,8 +123,14 @@ mod tests {
         }
     }
 
+    /// Emulates the engine's eviction protocol: select a victim, then
+    /// complete the removal with the Evict notification. The engine passes
+    /// the victim's metadata group; in these tests that always equals the
+    /// displacing request's priority.
     fn pop(p: &mut SemanticPriorityPolicy, req: &PolicyRequest) -> Option<BlockAddr> {
-        p.pop_victim(BlockAddr(u64::MAX), req)
+        let victim = p.pop_victim(BlockAddr(u64::MAX), req)?;
+        p.on_remove_reasoned(victim, req.prio, RemoveReason::Evict);
+        Some(victim)
     }
 
     #[test]
@@ -193,6 +199,10 @@ mod tests {
         assert!(p.write_buffered(CachePriority(0)));
         assert!(!p.write_buffered(CachePriority(2)));
         let mut drained = p.drain_write_buffer();
+        // The engine completes the drain with one Evict per block.
+        for lbn in &drained {
+            p.on_remove_reasoned(*lbn, CachePriority(0), RemoveReason::Evict);
+        }
         drained.sort();
         assert_eq!(drained, vec![BlockAddr(1), BlockAddr(3)]);
         assert!(p.drain_write_buffer().is_empty());

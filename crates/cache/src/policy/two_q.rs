@@ -94,22 +94,21 @@ impl CachePolicy for TwoQPolicy {
     }
 
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
-        // Reclaim from the probationary queue while it is over target;
-        // its victims are remembered on the ghost list. Otherwise evict
-        // the LRU block of Am (forgotten entirely).
+        // Selection only: reclaim from the probationary queue while it is
+        // over target, otherwise from the LRU end of Am. Ghosting happens
+        // when the engine completes the eviction (`on_remove_reasoned`
+        // with `Evict`): A1in victims are remembered, Am victims are
+        // forgotten entirely.
         if self.a1in.len() >= self.kin {
-            if let Some(victim) = self.a1in.pop_lru() {
-                self.a1out.remember(victim);
+            if let Some(&victim) = self.a1in.peek_lru() {
                 return Some(victim);
             }
         }
-        if let Some(victim) = self.am.pop_lru() {
+        if let Some(&victim) = self.am.peek_lru() {
             return Some(victim);
         }
         // Am empty (e.g. tiny shard): fall back to whatever A1in holds.
-        let victim = self.a1in.pop_lru()?;
-        self.a1out.remember(victim);
-        Some(victim)
+        self.a1in.peek_lru().copied()
     }
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
@@ -138,12 +137,16 @@ impl CachePolicy for TwoQPolicy {
                 self.a1out.forget(lbn);
             }
             RemoveReason::Evict => {
-                // Externally displaced but still live: remember the
-                // address exactly as if this policy had evicted it from
-                // probation, so a prompt re-reference still reads as
-                // reuse.
-                if self.a1in.remove(&lbn) || self.am.remove(&lbn) {
+                // The eviction completes here, with 2Q's own ghosting
+                // rules: a block displaced out of probation is remembered
+                // (a prompt re-reference of the address reads as reuse),
+                // while an Am block has already proven its reuse and is
+                // forgotten entirely — exactly the asymmetry the victim
+                // selection promises.
+                if self.a1in.remove(&lbn) {
                     self.a1out.remember(lbn);
+                } else {
+                    self.am.remove(&lbn);
                 }
             }
         }
@@ -172,8 +175,12 @@ mod tests {
         }
     }
 
+    /// Emulates the engine: select a victim, then complete the eviction
+    /// with the reasoned removal notification.
     fn pop(p: &mut TwoQPolicy) -> Option<BlockAddr> {
-        p.pop_victim(BlockAddr(u64::MAX), &req())
+        let victim = p.pop_victim(BlockAddr(u64::MAX), &req())?;
+        p.on_remove_reasoned(victim, CachePriority(2), RemoveReason::Evict);
+        Some(victim)
     }
 
     #[test]
@@ -285,15 +292,31 @@ mod tests {
     fn external_evict_is_remembered_as_reuse_history() {
         let mut p = TwoQPolicy::new(4);
         p.on_insert(BlockAddr(1), &req());
-        // A compositor displaces the probationary block: 2Q exploits the
-        // hint by ghosting it, so the next touch of the address is a
-        // promotion to Am — unlike a TRIM, after which it would restart
-        // probation.
+        // The engine (or a compositor steal) displaces the probationary
+        // block: 2Q exploits the hint by ghosting it, so the next touch of
+        // the address is a promotion to Am — unlike a TRIM, after which it
+        // would restart probation.
         p.on_remove_reasoned(BlockAddr(1), CachePriority(2), RemoveReason::Evict);
         assert_eq!(p.ghost_len(), 1);
         p.on_insert(BlockAddr(1), &req());
         p.on_insert(BlockAddr(2), &req());
         // 2 (probation) evicts before the promoted 1.
         assert_eq!(pop(&mut p), Some(BlockAddr(2)));
+    }
+
+    #[test]
+    fn evicting_a_main_queue_block_leaves_no_ghost() {
+        let mut p = TwoQPolicy::new(4);
+        p.on_insert(BlockAddr(1), &req());
+        pop(&mut p); // ghosted out of probation
+        p.on_insert(BlockAddr(1), &req()); // promoted to Am
+        assert_eq!(p.ghost_len(), 0);
+        // Evicting out of Am forgets the address entirely: re-inserting it
+        // restarts probation rather than reading as reuse.
+        p.on_remove_reasoned(BlockAddr(1), CachePriority(2), RemoveReason::Evict);
+        assert_eq!(p.ghost_len(), 0);
+        p.on_insert(BlockAddr(1), &req());
+        p.on_insert(BlockAddr(2), &req());
+        assert_eq!(pop(&mut p), Some(BlockAddr(1)), "1 is probationary again");
     }
 }

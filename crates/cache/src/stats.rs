@@ -9,6 +9,7 @@
 use hstorage_storage::{DeviceStats, RequestClass};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// The six actions a cache may take for a request (Section 5.1), plus the
 /// write-buffer flush.
@@ -162,6 +163,98 @@ impl CacheStats {
     }
 }
 
+/// Exact-sample latency recorder with nearest-rank percentile queries.
+///
+/// The service layer records one sample per completed request (simulated
+/// time between submission pickup and completion), and the benches report
+/// p50/p99/p999 from the full sample set — no bucketing, no interpolation,
+/// so the percentiles are deterministic for a deterministic workload.
+/// Samples are stored as whole nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Recorded samples in nanoseconds, in arrival order.
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (truncated to whole nanoseconds).
+    pub fn record(&mut self, latency: Duration) {
+        self.samples
+            .push(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds another histogram's samples into this one. Percentiles are
+    /// order-independent, so merging per-worker histograms in any order
+    /// yields the same summary.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-th percentile (`0 < q <= 100`) by the nearest-rank method:
+    /// the smallest recorded sample such that at least `q` percent of all
+    /// samples are `<=` it. `None` when empty. `q` values at or below zero
+    /// return the minimum sample; values above 100 the maximum.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        // Relative guard before ceil(): 99.9% of 10,000 computes to a hair
+        // above 9,990.0 in f64, which would otherwise skip to rank 9,991.
+        let exact = q * n as f64 / 100.0;
+        let rank = (exact - exact.abs() * 1e-12).ceil() as usize;
+        Some(Duration::from_nanos(sorted[rank.clamp(1, n) - 1]))
+    }
+
+    /// Median latency (`None` when empty).
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(50.0)
+    }
+
+    /// 99th-percentile latency (`None` when empty).
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th-percentile latency (`None` when empty).
+    pub fn p999(&self) -> Option<Duration> {
+        self.percentile(99.9)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().map(|&n| Duration::from_nanos(n))
+    }
+
+    /// Arithmetic mean of the samples (`None` when empty).
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&n| n as u128).sum();
+        Some(Duration::from_nanos(
+            (sum / self.samples.len() as u128) as u64,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +400,101 @@ mod tests {
         aggregate.ssd = Some(mine.clone());
         aggregate.merge(&other);
         assert_eq!(aggregate.ssd, Some(mine));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(42));
+        let v = Some(Duration::from_micros(42));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.percentile(0.0), v);
+        assert_eq!(h.p50(), v);
+        assert_eq!(h.p99(), v);
+        assert_eq!(h.p999(), v);
+        assert_eq!(h.percentile(100.0), v);
+        assert_eq!(h.max(), v);
+        assert_eq!(h.mean(), v);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_on_a_known_set() {
+        // 1..=10 ms: nearest rank for q% of 10 samples is ceil(q/10).
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=10u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.p50(), Some(Duration::from_millis(5)));
+        assert_eq!(h.percentile(90.0), Some(Duration::from_millis(9)));
+        assert_eq!(h.percentile(91.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.p99(), Some(Duration::from_millis(10)));
+        assert_eq!(h.percentile(100.0), Some(Duration::from_millis(10)));
+        // Out-of-range q values clamp to the extremes instead of panicking.
+        assert_eq!(h.percentile(-3.0), Some(Duration::from_millis(1)));
+        assert_eq!(h.percentile(250.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.mean(), Some(Duration::from_nanos(5_500_000)));
+    }
+
+    #[test]
+    fn heavy_tail_separates_the_high_percentiles() {
+        // 9,990 fast requests and 10 slow stragglers: the tail must be
+        // invisible at p50/p99 and dominate p999/max.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9_990 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_secs(1));
+        }
+        assert_eq!(h.p50(), Some(Duration::from_micros(100)));
+        assert_eq!(h.p99(), Some(Duration::from_micros(100)));
+        // rank(99.9% of 10,000) = 9,990 → still fast; 99.91 crosses over.
+        assert_eq!(h.p999(), Some(Duration::from_micros(100)));
+        assert_eq!(h.percentile(99.91), Some(Duration::from_secs(1)));
+        assert_eq!(h.max(), Some(Duration::from_secs(1)));
+        // Recording order does not matter: an interleaved twin agrees.
+        let mut twin = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            if i % 1_000 == 0 {
+                twin.record(Duration::from_secs(1));
+            } else {
+                twin.record(Duration::from_micros(100));
+            }
+        }
+        for q in [50.0, 99.0, 99.9, 99.91, 100.0] {
+            assert_eq!(h.percentile(q), twin.percentile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for ms in 1..=5u64 {
+            a.record(Duration::from_millis(ms));
+        }
+        for ms in 6..=10u64 {
+            b.record(Duration::from_millis(ms));
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.p50(), Some(Duration::from_millis(5)));
+        assert_eq!(a.max(), Some(Duration::from_millis(10)));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.len(), 10);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   they become storage I/O,
 //! * [`executor`] — turns a plan tree into a classified block-level request
 //!   stream against a [`hstorage_cache::StorageSystem`],
+//! * [`service`] — the request/response query service: a bounded worker
+//!   pool that sustains tens of thousands of logical query streams over a
+//!   fixed number of OS threads, with backpressure, admission control and
+//!   per-request latency percentiles,
 //! * [`stats`] — per-query execution statistics.
 
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod policy_table;
 pub mod priority;
 pub mod program;
 pub mod semantic;
+pub mod service;
 pub mod stats;
 
 pub use buffer_pool::BufferPool;
@@ -49,4 +54,8 @@ pub use policy_table::PolicyAssignmentTable;
 pub use priority::random_request_priority;
 pub use program::{compile, CompileOptions, IoOp, RequestProgram};
 pub use semantic::{AccessPattern, ContentType, SemanticInfo};
+pub use service::{
+    run_streams_service, QueryRequest, QueryResponse, QueryService, ServiceConfig, ServiceReport,
+    SubmitError,
+};
 pub use stats::QueryStats;

@@ -1,0 +1,672 @@
+//! The query-service front end: a bounded worker pool over a bounded
+//! submission queue.
+//!
+//! The library drivers ([`crate::run_concurrent`], [`crate::run_threaded`])
+//! bind concurrency to *streams*: one cooperative slice or one pool slot per
+//! stream. That shape cannot express a server sustaining tens of thousands
+//! of logical query streams, and the obvious extension — a thread per
+//! stream — is exactly the thread-explosion bug this module replaces. The
+//! service decouples the two axes:
+//!
+//! * **logical concurrency** — any number of in-flight [`QueryRequest`]s,
+//!   each tagged with the logical stream it belongs to;
+//! * **physical concurrency** — a fixed pool of
+//!   [`ServiceConfig::workers`] OS threads (default: available
+//!   parallelism), each owning one [`QueryExecutor`] (its own DBMS buffer
+//!   pool and RNG), all sharing one storage system and one
+//!   [`ConcurrencyRegistry`] so Rule 5 priority assignment sees every
+//!   concurrently running query.
+//!
+//! Requests flow through a bounded queue of [`ServiceConfig::queue_depth`]
+//! entries. [`QueryService::submit`] blocks when the queue is full
+//! (**backpressure** — a closed-loop client is paced by the service), while
+//! [`QueryService::try_submit`] fails fast with [`SubmitError::QueueFull`]
+//! (**admission control** — an open-loop client sheds load instead of
+//! queueing without bound). Each completed request is answered on the reply
+//! channel the submitter attached to it, so completion notification is
+//! per-stream: every logical stream (or any grouping the caller chooses)
+//! can wait on its own channel.
+//!
+//! [`run_streams_service`] is the closed-loop workload driver built on
+//! top: it keeps every logical stream exactly one request deep, records one
+//! simulated-time latency sample per query into a
+//! [`LatencyHistogram`], and returns results grouped by stream. With one
+//! worker the execution order is fully deterministic, which is what the
+//! `bench_gate` latency rows pin.
+
+use crate::catalog::Catalog;
+use crate::concurrency::ConcurrencyRegistry;
+use crate::executor::{CompletedQuery, ExecutorConfig, QueryExecutor, StreamSpec};
+use crate::plan::PlanTree;
+use crate::stats::QueryStats;
+use hstorage_cache::{LatencyHistogram, StorageSystem};
+use hstorage_storage::{BlockRange, PolicyConfig};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs of the query service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of worker threads. `0` means one per unit of available
+    /// hardware parallelism.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue. [`QueryService::submit`]
+    /// blocks and [`QueryService::try_submit`] fails once this many
+    /// requests are queued (requests being executed no longer count).
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The effective worker count: `workers`, or the hardware parallelism
+    /// when `workers` is zero.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            available_parallelism()
+        }
+    }
+}
+
+/// The machine's available hardware parallelism (1 if unknown).
+pub(crate) fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One unit of work for the service: a query plan tagged with the logical
+/// stream it belongs to and the channel its [`QueryResponse`] goes to.
+pub struct QueryRequest {
+    /// Index of the logical stream this query belongs to (echoed in the
+    /// response; the service itself only passes it through).
+    pub stream: usize,
+    /// The query to compile and run.
+    pub plan: PlanTree,
+    /// Where the completion notification is delivered. Submitters that
+    /// want per-stream notification attach one channel per stream; a
+    /// central dispatcher can share one channel across all streams.
+    pub reply: mpsc::Sender<QueryResponse>,
+}
+
+/// The completion notification for one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The logical stream the request carried.
+    pub stream: usize,
+    /// Execution statistics of the query.
+    pub stats: QueryStats,
+    /// Simulated time between the worker picking the request up and the
+    /// query completing — the service-side request latency, excluding
+    /// queueing delay (which simulated time does not observe: the sim
+    /// clock only advances while requests execute).
+    pub sim_latency: Duration,
+}
+
+/// Why a submission was rejected.
+pub enum SubmitError {
+    /// The queue is at [`ServiceConfig::queue_depth`]: the request is
+    /// handed back so an open-loop caller can shed or retry it.
+    QueueFull(QueryRequest),
+    /// The service has been shut down; the request is handed back.
+    Closed(QueryRequest),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "submission queue is full"),
+            SubmitError::Closed(_) => write!(f, "query service is shut down"),
+        }
+    }
+}
+
+impl std::fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The rejected request (a plan plus a channel) is not `Debug`;
+        // the variant name is the informative part.
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("QueueFull(..)"),
+            SubmitError::Closed(_) => f.write_str("Closed(..)"),
+        }
+    }
+}
+
+/// Bounded MPMC queue: `Mutex<VecDeque>` plus two condition variables
+/// (producers wait on `not_full`, workers on `not_empty`).
+struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<QueryRequest>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl SubmissionQueue {
+    fn new(capacity: usize) -> Self {
+        SubmissionQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking push: waits while the queue is full (backpressure).
+    fn push(&self, req: QueryRequest) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(req));
+            }
+            if state.items.len() < state.capacity {
+                state.items.push_back(req);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Non-blocking push: fails when the queue is full (admission control).
+    fn try_push(&self, req: QueryRequest) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed(req));
+        }
+        if state.items.len() >= state.capacity {
+            return Err(SubmitError::QueueFull(req));
+        }
+        state.items.push_back(req);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<QueryRequest> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(req) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(req);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn queued(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+}
+
+/// The request/response query service: a fixed worker pool consuming
+/// [`QueryRequest`]s from a bounded submission queue.
+///
+/// Each worker owns a [`QueryExecutor`] (its own DBMS buffer pool; RNG
+/// seeded `config.seed + worker index`) and a clone of the catalog whose
+/// temporary region is relocated to a disjoint per-worker copy (worker 0
+/// keeps the original placement), so concurrent spills never alias. All
+/// workers share the storage system and the concurrency registry.
+///
+/// Dropping the service (or calling [`QueryService::shutdown`]) closes the
+/// queue, lets the workers drain it, and joins them.
+pub struct QueryService {
+    queue: Arc<SubmissionQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts the worker pool.
+    pub fn start(
+        config: ExecutorConfig,
+        service: ServiceConfig,
+        policy: PolicyConfig,
+        registry: &ConcurrencyRegistry,
+        catalog: &Catalog,
+        storage: &Arc<dyn StorageSystem>,
+    ) -> Self {
+        assert!(service.queue_depth > 0, "queue_depth must be positive");
+        let worker_count = service.effective_workers();
+        let queue = Arc::new(SubmissionQueue::new(service.queue_depth));
+        let workers = (0..worker_count)
+            .map(|idx| {
+                let queue = Arc::clone(&queue);
+                let registry = registry.clone();
+                let storage = Arc::clone(storage);
+                let mut catalog = catalog.clone();
+                // Same aliasing rule as `run_threaded`, but per worker
+                // slot instead of per stream: a worker runs one query at a
+                // time, and a spill's lifetime is contained in one query,
+                // so disjoint per-worker temp regions suffice no matter
+                // how many logical streams are in flight. A single worker
+                // keeps the original placement, matching plain
+                // `run_query`.
+                if worker_count > 1 {
+                    let region = catalog.temp_region();
+                    let start = region.start.0 + idx as u64 * region.len;
+                    catalog.set_temp_region(BlockRange::new(start, region.len));
+                }
+                let worker_config = ExecutorConfig {
+                    seed: config.seed.wrapping_add(idx as u64),
+                    ..config
+                };
+                std::thread::spawn(move || {
+                    let mut executor =
+                        QueryExecutor::with_registry(worker_config, policy, registry);
+                    while let Some(req) = queue.pop() {
+                        let started = storage.now();
+                        let stats = executor.run_query(&req.plan, &mut catalog, storage.as_ref());
+                        let sim_latency = storage.now().saturating_sub(started);
+                        // A dropped receiver means the submitter stopped
+                        // listening; the query still ran, drop the reply.
+                        let _ = req.reply.send(QueryResponse {
+                            stream: req.stream,
+                            stats,
+                            sim_latency,
+                        });
+                    }
+                })
+            })
+            .collect();
+        QueryService { queue, workers }
+    }
+
+    /// Submits a request, blocking while the queue is full
+    /// (backpressure). Fails only when the service is shut down, handing
+    /// the request back.
+    pub fn submit(&self, req: QueryRequest) -> Result<(), SubmitError> {
+        self.queue.push(req)
+    }
+
+    /// Submits a request without blocking: fails with
+    /// [`SubmitError::QueueFull`] when the queue is at capacity
+    /// (admission control for open-loop clients) and hands the request
+    /// back.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<(), SubmitError> {
+        self.queue.try_push(req)
+    }
+
+    /// Number of requests currently waiting in the submission queue (not
+    /// counting those being executed).
+    pub fn queued_requests(&self) -> usize {
+        self.queue.queued()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue, lets the workers drain the remaining requests,
+    /// and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The result of a [`run_streams_service`] run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Completed queries grouped by stream, in stream order (the same
+    /// shape [`crate::run_threaded`] returns).
+    pub completed: Vec<CompletedQuery>,
+    /// One simulated-latency sample per completed query.
+    pub latency: LatencyHistogram,
+}
+
+/// Runs query streams through a [`QueryService`] in a closed loop: every
+/// logical stream keeps exactly one request in flight, submitting its next
+/// query only when the previous one completes.
+///
+/// This is the entry point that sustains 10⁴–10⁵ logical streams over a
+/// bounded worker pool: driver-side state is one cursor per stream, and
+/// the service never sees more threads than
+/// [`ServiceConfig::effective_workers`] plus the driver. Backpressure from
+/// the bounded queue paces the driver's submissions.
+///
+/// With `service.workers == 1` the execution order — and therefore the
+/// simulated clock, all statistics and every latency sample — is fully
+/// deterministic: requests are executed in submission order by a single
+/// worker whose executor matches plain [`QueryExecutor::run_query`].
+///
+/// Results are grouped by stream, in stream order.
+pub fn run_streams_service(
+    config: ExecutorConfig,
+    service: ServiceConfig,
+    policy: PolicyConfig,
+    registry: &ConcurrencyRegistry,
+    streams: &[StreamSpec],
+    catalog: &Catalog,
+    storage: &Arc<dyn StorageSystem>,
+) -> ServiceReport {
+    let svc = QueryService::start(config, service, policy, registry, catalog, storage);
+    let (reply, responses) = mpsc::channel();
+    let mut cursors: Vec<usize> = vec![0; streams.len()];
+    let mut results: Vec<Vec<QueryStats>> = streams.iter().map(|_| Vec::new()).collect();
+    let mut latency = LatencyHistogram::new();
+    let mut in_flight = 0usize;
+
+    let submit = |svc: &QueryService, idx: usize, query: usize| {
+        svc.submit(QueryRequest {
+            stream: idx,
+            plan: streams[idx].queries[query].clone(),
+            reply: reply.clone(),
+        })
+        .unwrap_or_else(|e| panic!("service rejected a closed-loop submit: {e}"));
+    };
+
+    // Open every stream: one request in flight per non-empty stream.
+    for (idx, stream) in streams.iter().enumerate() {
+        if !stream.queries.is_empty() {
+            submit(&svc, idx, 0);
+            cursors[idx] = 1;
+            in_flight += 1;
+        }
+    }
+    // Closed loop: each completion triggers the stream's next submission.
+    while in_flight > 0 {
+        let resp = responses.recv().expect("service workers hung up early");
+        in_flight -= 1;
+        latency.record(resp.sim_latency);
+        results[resp.stream].push(resp.stats);
+        let next = cursors[resp.stream];
+        if next < streams[resp.stream].queries.len() {
+            submit(&svc, resp.stream, next);
+            cursors[resp.stream] = next + 1;
+            in_flight += 1;
+        }
+    }
+    svc.shutdown();
+
+    let completed = streams
+        .iter()
+        .zip(results)
+        .flat_map(|(stream, stats)| {
+            stats.into_iter().map(|stats| CompletedQuery {
+                stream: stream.name.clone(),
+                stats,
+            })
+        })
+        .collect();
+    ServiceReport { completed, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ObjectKind;
+    use crate::plan::{Access, OperatorKind, PlanNode};
+    use hstorage_cache::{StorageConfig, StorageConfigKind};
+
+    fn small_catalog() -> (Catalog, crate::catalog::ObjectId) {
+        let mut cat = Catalog::new();
+        let table = cat.register("orders", ObjectKind::Table, BlockRange::new(0u64, 400));
+        cat.set_temp_region(BlockRange::new(50_000u64, 1_000));
+        (cat, table)
+    }
+
+    fn seq_plan(table: crate::catalog::ObjectId) -> PlanTree {
+        PlanTree::new(
+            "seq",
+            PlanNode::leaf(OperatorKind::SeqScan, Access::SeqScan { table, passes: 1 }),
+        )
+    }
+
+    fn cfg() -> ExecutorConfig {
+        ExecutorConfig {
+            buffer_pool_blocks: 128,
+            ..ExecutorConfig::default()
+        }
+    }
+
+    fn shared_storage() -> Arc<dyn StorageSystem> {
+        StorageConfig::new(StorageConfigKind::HStorageDb, 2_000).build_shared()
+    }
+
+    #[test]
+    fn closed_loop_driver_completes_every_stream() {
+        let (cat, table) = small_catalog();
+        let storage = shared_storage();
+        let registry = ConcurrencyRegistry::new();
+        let streams: Vec<StreamSpec> = (0..100)
+            .map(|i| StreamSpec {
+                name: format!("s{i}"),
+                queries: vec![seq_plan(table), seq_plan(table)],
+            })
+            .collect();
+        let report = run_streams_service(
+            cfg(),
+            ServiceConfig {
+                workers: 3,
+                queue_depth: 8,
+            },
+            PolicyConfig::paper_default(),
+            &registry,
+            &streams,
+            &cat,
+            &storage,
+        );
+        assert_eq!(report.completed.len(), 200);
+        assert_eq!(report.latency.len(), 200);
+        assert_eq!(registry.active_queries(), 0);
+        assert!(report.latency.p50().expect("non-empty") > Duration::ZERO);
+        // Grouped by stream, in stream order, two entries each.
+        for (i, pair) in report.completed.chunks(2).enumerate() {
+            assert!(pair.iter().all(|q| q.stream == format!("s{i}")));
+        }
+    }
+
+    #[test]
+    fn empty_streams_produce_no_results() {
+        let (cat, table) = small_catalog();
+        let storage = shared_storage();
+        let registry = ConcurrencyRegistry::new();
+        let streams = vec![
+            StreamSpec {
+                name: "empty".into(),
+                queries: vec![],
+            },
+            StreamSpec {
+                name: "one".into(),
+                queries: vec![seq_plan(table)],
+            },
+        ];
+        let report = run_streams_service(
+            cfg(),
+            ServiceConfig::default(),
+            PolicyConfig::paper_default(),
+            &registry,
+            &streams,
+            &cat,
+            &storage,
+        );
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.completed[0].stream, "one");
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_the_queue_is_full() {
+        let (cat, table) = small_catalog();
+        let storage = shared_storage();
+        let registry = ConcurrencyRegistry::new();
+        // No worker ever pops: the queue must fill to exactly its depth.
+        let svc = QueryService::start(
+            cfg(),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 2,
+            },
+            PolicyConfig::paper_default(),
+            &registry,
+            &cat,
+            &storage,
+        );
+        // Flood far faster than one worker can drain (a try_submit is a
+        // mutex push; a query is thousands of times more work): the first
+        // rejection must be QueueFull with the request handed back intact.
+        let (reply, responses) = mpsc::channel();
+        let mut accepted = 0usize;
+        let mut rejected = None;
+        for i in 0..10_000 {
+            match svc.try_submit(QueryRequest {
+                stream: i,
+                plan: seq_plan(table),
+                reply: reply.clone(),
+            }) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(accepted >= 2, "the queue admits up to its depth");
+        match rejected.expect("overfill must be rejected") {
+            // We broke at the first failure, so the handed-back request is
+            // attempt number `accepted`.
+            SubmitError::QueueFull(req) => assert_eq!(req.stream, accepted),
+            other => panic!("expected QueueFull, got {other}"),
+        }
+        drop(reply);
+        // The accepted requests still complete, and nothing else does.
+        let done = responses.iter().count();
+        assert_eq!(done, accepted);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submission_queue_bounds_fills_and_closes() {
+        // Deterministic check of the queue mechanism itself, with no
+        // worker racing the assertions.
+        let (_cat, table) = small_catalog();
+        let (reply, _responses) = mpsc::channel();
+        let mk = |i: usize| QueryRequest {
+            stream: i,
+            plan: seq_plan(table),
+            reply: reply.clone(),
+        };
+        let q = SubmissionQueue::new(2);
+        assert!(q.try_push(mk(0)).is_ok());
+        assert!(q.try_push(mk(1)).is_ok());
+        assert_eq!(q.queued(), 2);
+        match q.try_push(mk(2)) {
+            Err(SubmitError::QueueFull(req)) => assert_eq!(req.stream, 2),
+            other => panic!(
+                "expected QueueFull, got {other:?}",
+                other = other.map(|_| ())
+            ),
+        }
+        // Draining one slot re-opens admission; FIFO order is preserved.
+        assert_eq!(q.pop().expect("non-empty").stream, 0);
+        assert!(q.try_push(mk(3)).is_ok());
+        // After close, producers are refused but the queue drains.
+        q.close();
+        assert!(matches!(q.push(mk(4)), Err(SubmitError::Closed(_))));
+        assert_eq!(q.pop().expect("drains after close").stream, 1);
+        assert_eq!(q.pop().expect("drains after close").stream, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_closed() {
+        let (cat, table) = small_catalog();
+        let storage = shared_storage();
+        let registry = ConcurrencyRegistry::new();
+        let svc = QueryService::start(
+            cfg(),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+            },
+            PolicyConfig::paper_default(),
+            &registry,
+            &cat,
+            &storage,
+        );
+        svc.queue.close();
+        let (reply, _responses) = mpsc::channel();
+        let req = QueryRequest {
+            stream: 0,
+            plan: seq_plan(table),
+            reply,
+        };
+        match svc.submit(req) {
+            Err(SubmitError::Closed(req)) => assert_eq!(req.stream, 0),
+            other => panic!("expected Closed, got {:?}", other.map(|_| ())),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn single_worker_run_is_deterministic() {
+        let (cat, table) = small_catalog();
+        let registry = ConcurrencyRegistry::new();
+        let streams: Vec<StreamSpec> = (0..20)
+            .map(|i| StreamSpec {
+                name: format!("s{i}"),
+                queries: vec![seq_plan(table)],
+            })
+            .collect();
+        let run = || {
+            let storage = shared_storage();
+            run_streams_service(
+                cfg(),
+                ServiceConfig {
+                    workers: 1,
+                    queue_depth: 4,
+                },
+                PolicyConfig::paper_default(),
+                &registry,
+                &streams,
+                &cat,
+                &storage,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.completed.len(), b.completed.len());
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+}

@@ -4,8 +4,8 @@
 use crate::config::SystemConfig;
 use hstorage_cache::{CacheStats, StorageSystem};
 use hstorage_engine::{
-    run_concurrent, run_threaded, CompletedQuery, ConcurrencyRegistry, QueryExecutor, QueryStats,
-    StreamSpec,
+    run_concurrent, run_streams_service, run_threaded, CompletedQuery, ConcurrencyRegistry,
+    QueryExecutor, QueryStats, ServiceConfig, ServiceReport, StreamSpec,
 };
 use hstorage_tpch::{build_plan, QueryId, TpchDatabase};
 use std::sync::Arc;
@@ -108,6 +108,31 @@ impl TpchSystem {
         )
     }
 
+    /// Runs query streams through the bounded-worker query service (the
+    /// recommended concurrency driver): a fixed pool of
+    /// [`ServiceConfig::workers`] OS threads consumes the streams' queries
+    /// from a bounded submission queue in a closed loop, no matter how
+    /// many logical streams there are. Returns the completed queries
+    /// (grouped by stream, in stream order) plus a per-request
+    /// simulated-latency histogram. With `service.workers == 1` the run is
+    /// fully deterministic. See [`run_streams_service`].
+    pub fn run_streams_service(
+        &mut self,
+        streams: &[(String, Vec<QueryId>)],
+        service: ServiceConfig,
+    ) -> ServiceReport {
+        let specs = self.stream_specs(streams);
+        run_streams_service(
+            self.config.executor,
+            service,
+            self.config.policy,
+            self.executor.registry(),
+            &specs,
+            &self.db.catalog,
+            &self.storage,
+        )
+    }
+
     fn stream_specs(&self, streams: &[(String, Vec<QueryId>)]) -> Vec<StreamSpec> {
         streams
             .iter()
@@ -200,6 +225,26 @@ mod tests {
         assert_eq!(completed.len(), 4);
         assert_eq!(sys.executor.registry().active_queries(), 0);
         assert!(completed.iter().all(|q| q.stats.elapsed > Duration::ZERO));
+    }
+
+    #[test]
+    fn service_streams_complete_all_queries_with_latency_samples() {
+        let mut sys = tiny(StorageConfigKind::HStorageDb);
+        let report = sys.run_streams_service(
+            &[
+                ("s1".to_string(), vec![QueryId::Q(1), QueryId::Q(6)]),
+                ("s2".to_string(), vec![QueryId::Q(19)]),
+                ("s3".to_string(), vec![QueryId::Q(6)]),
+            ],
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 4,
+            },
+        );
+        assert_eq!(report.completed.len(), 4);
+        assert_eq!(report.latency.len(), 4);
+        assert_eq!(sys.executor.registry().active_queries(), 0);
+        assert!(report.latency.p99().expect("non-empty") > Duration::ZERO);
     }
 
     #[test]

@@ -58,11 +58,12 @@ fn main() {
          the interleaved sequential scans of the other streams."
     );
 
-    // The same workload again, but on real OS threads: one thread per
-    // stream against a single shared, lock-striped storage service. The
+    // The same workload again, but on real OS threads: a bounded worker
+    // pool (at most `available_parallelism` threads) claims the streams
+    // against a single shared, lock-striped storage service. The
     // deterministic slicer above is the tool for reproducing the paper's
     // numbers; this is the tool for exercising actual parallelism.
-    println!("\nThreaded run (hStorage-DB, 8 shards, one OS thread per stream):");
+    println!("\nThreaded run (hStorage-DB, 8 shards, bounded worker pool):");
     let mut system = TpchSystem::new(
         SystemConfig::throughput(scale, StorageConfigKind::HStorageDb).with_storage_shards(8),
     );
@@ -73,7 +74,7 @@ fn main() {
     let completed = system.run_streams_threaded(&streams);
     let total_blocks: u64 = completed.iter().map(|c| c.stats.total_blocks()).sum();
     println!(
-        "  {} queries completed across {} threads, {} blocks served, {:.1} s simulated",
+        "  {} queries completed across {} streams, {} blocks served, {:.1} s simulated",
         completed.len(),
         streams.len(),
         total_blocks,
