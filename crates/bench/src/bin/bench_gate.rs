@@ -50,8 +50,8 @@
 
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
-    drive, fresh_cache, mixed_policy_run, random_read, scan_read, service_latency_percentiles,
-    QUEUE_DEPTH, TOTAL_SUBMITS,
+    contended_hot_reads, drive, fresh_cache, mixed_policy_run, random_read, scan_read,
+    service_latency_percentiles, warmed_cache, HOT_READS_PER_THREAD, QUEUE_DEPTH, TOTAL_SUBMITS,
 };
 use hstorage_cache::{CachePolicyKind, StorageSystem};
 use std::time::Instant;
@@ -105,6 +105,43 @@ fn sim_random_seconds() -> f64 {
     let cache = fresh_cache(QUEUE_DEPTH);
     drive(&cache, 64, random_read);
     cache.now().as_secs_f64()
+}
+
+/// Runs the contended hot-read workload single-threaded (deterministic) on
+/// the lock-light and the fully locked engine and returns
+/// `(stats_parity, time_parity, fast_path_rate)`: the parity values are
+/// `1.0` iff the two engines' logical statistics / simulated clocks came
+/// out bit-identical — the optimistic path's correctness contract — and
+/// the rate is the fraction of hot-path visits the lock-light engine
+/// served without the stripe mutex.
+fn hot_read_equivalence() -> (f64, f64, f64) {
+    let optimistic = warmed_cache(true);
+    let locked = warmed_cache(false);
+    contended_hot_reads(&optimistic, 1, HOT_READS_PER_THREAD);
+    contended_hot_reads(&locked, 1, HOT_READS_PER_THREAD);
+    let stats_parity = f64::from(optimistic.stats() == locked.stats());
+    let time_parity = f64::from(optimistic.now() == locked.now());
+    (
+        stats_parity,
+        time_parity,
+        optimistic.stats().contention.fast_path_rate(),
+    )
+}
+
+/// Median wall-clock hot-read submits/second over [`WALL_RUNS`] pre-warmed
+/// runs of the contended workload at `threads` OS threads.
+fn contended_wall_throughput(optimistic: bool, threads: usize) -> f64 {
+    let total = (threads as u64 * HOT_READS_PER_THREAD) as f64;
+    let mut rates: Vec<f64> = (0..WALL_RUNS)
+        .map(|_| {
+            let cache = warmed_cache(optimistic);
+            let start = Instant::now();
+            contended_hot_reads(&cache, threads, HOT_READS_PER_THREAD);
+            total / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WALL_RUNS / 2]
 }
 
 fn main() {
@@ -224,6 +261,51 @@ fn main() {
             lower_is_better: true,
         });
     }
+    // The lock-light hot path: deterministic single-threaded equivalence
+    // rows (the optimistic engine must produce bit-identical statistics
+    // and simulated time to the fully locked one, while actually taking
+    // its fast path), plus ungated wall-clock contended-throughput rows.
+    let (hot_stats_parity, hot_time_parity, hot_fast_rate) = hot_read_equivalence();
+    for (name, value) in [
+        (
+            "sim: contended hot-read stats parity, lock-light vs locked (1 = equal)",
+            hot_stats_parity,
+        ),
+        (
+            "sim: contended hot-read device-time parity, lock-light vs locked (1 = equal)",
+            hot_time_parity,
+        ),
+        (
+            "sim: contended hot-read optimistic fast-path hit rate (1 thread)",
+            hot_fast_rate,
+        ),
+    ] {
+        measurements.push(Measurement {
+            metric: name.into(),
+            value,
+            gated: true,
+            deterministic: true,
+            lower_is_better: false,
+        });
+    }
+    let contended_locked_8 = contended_wall_throughput(false, 8);
+    let contended_opt = [8usize, 16, 32].map(|t| (t, contended_wall_throughput(true, t)));
+    for (threads, rate) in contended_opt {
+        measurements.push(Measurement {
+            metric: format!("wall: contended hot-read throughput at {threads} threads (submits/s)"),
+            value: rate,
+            gated: false,
+            deterministic: false,
+            lower_is_better: false,
+        });
+    }
+    measurements.push(Measurement {
+        metric: "wall: contended 8-thread lock-light speedup over locked hot path (x)".into(),
+        value: contended_opt[0].1 / contended_locked_8,
+        gated: false,
+        deterministic: false,
+        lower_is_better: false,
+    });
 
     if write_baseline || update_baseline {
         // --update-baseline keeps the committed values of
@@ -351,6 +433,39 @@ fn main() {
         failures.push(format!(
             "batch=64 throughput ({wall_batch64:.0}/s) is not strictly better than \
              single-submit ({wall_single:.0}/s)"
+        ));
+    }
+    // Acceptance criteria of the lock-light hot path, baseline-free: the
+    // optimistic engine must be *exactly* equivalent to the locked one on
+    // the deterministic run (parity rows are 1 or 0, so the 25% band would
+    // be meaningless), must actually take its fast path, and must beat the
+    // locked engine's wall-clock throughput under 8-thread contention.
+    if hot_stats_parity != 1.0 {
+        failures.push(
+            "lock-light hot path diverged from the locked path's statistics \
+             on the deterministic hot-read run"
+                .to_string(),
+        );
+    }
+    if hot_time_parity != 1.0 {
+        failures.push(
+            "lock-light hot path diverged from the locked path's simulated \
+             device time on the deterministic hot-read run"
+                .to_string(),
+        );
+    }
+    if hot_fast_rate <= 0.0 {
+        failures.push(
+            "optimistic fast path served no hot-read hits (rate 0) — the \
+             lock-light path is not engaging"
+                .to_string(),
+        );
+    }
+    if contended_opt[0].1 <= contended_locked_8 {
+        failures.push(format!(
+            "8-thread contended hot-read throughput with the lock-light path \
+             ({:.0}/s) is not strictly better than the locked path ({contended_locked_8:.0}/s)",
+            contended_opt[0].1
         ));
     }
     // Acceptance criterion of the adaptive policy, also baseline-free:

@@ -131,6 +131,62 @@ pub mod workload {
         }
     }
 
+    /// Hot blocks of the contended-read workload: exactly one per shard,
+    /// shared by every thread (the "index root page" shape). Because each
+    /// shard has a single hot block, the optimistic hit descriptor of
+    /// every shard stays permanently armed no matter how threads
+    /// interleave — the workload isolates pure lock-path cost.
+    pub const HOT_SET: u64 = SHARDS as u64;
+    /// Hot reads each thread issues per contended run.
+    pub const HOT_READS_PER_THREAD: u64 = 2_000;
+
+    /// The `i`-th hot read of the contended workload: a single-block
+    /// priority-2 random read that rotates over the [`HOT_SET`] every 16
+    /// requests. All threads share one schedule, so under contention they
+    /// pile onto the same shard — worst case for a mutex hot path, best
+    /// case for an optimistic read view.
+    pub fn hot_read(i: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new((i / 16) % HOT_SET, 1), false),
+            RequestClass::Random,
+            QosPolicy::priority(2),
+        )
+    }
+
+    /// A sharded cache pre-warmed for the contended hot-read workload:
+    /// the [`HOT_SET`] is resident (first pass allocates) and every
+    /// shard's optimistic hit descriptor is armed (second pass hits), so
+    /// every subsequent [`hot_read`] is a cache hit. Statistics are reset
+    /// after warm-up; the `optimistic` flag selects the lock-light or the
+    /// fully locked (pre-optimization) hot path.
+    pub fn warmed_cache(optimistic: bool) -> HybridCache {
+        let cache = fresh_cache(1).with_optimistic_reads(optimistic);
+        for _ in 0..2 {
+            for b in 0..HOT_SET {
+                cache.submit(hot_read(b * 16));
+            }
+        }
+        cache.reset_stats();
+        cache
+    }
+
+    /// Drives `per_thread` hot reads through `cache` from each of
+    /// `threads` OS threads, all sharing the [`hot_read`] schedule.
+    /// Returns the resident block count so benches have a value to
+    /// `black_box`.
+    pub fn contended_hot_reads(cache: &HybridCache, threads: usize, per_thread: u64) -> u64 {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for i in 0..per_thread {
+                        cache.submit(hot_read(i));
+                    }
+                });
+            }
+        });
+        cache.resident_blocks()
+    }
+
     /// A fresh sharded hybrid cache at the given device queue depth.
     pub fn fresh_cache(queue_depth: usize) -> HybridCache {
         fresh_policy_cache(CachePolicyKind::SemanticPriority, queue_depth)

@@ -19,25 +19,53 @@
 //! so one instance can serve many threads. Internally the block metadata,
 //! per-shard policy state, slot allocator, write buffer and statistics are
 //! partitioned into `N` *shards* keyed by logical block address
-//! (`lbn % N`), each behind its own mutex — submits that touch different
-//! shards proceed in parallel, and statistics are striped per shard and
-//! aggregated on read. Each shard manages an equal slice of the cache
-//! capacity, so allocation and eviction are decided shard-locally. With a
-//! single shard (the default, used by the paper-figure experiments) the
-//! behaviour is block-for-block identical to the original exclusive
-//! implementation; [`CacheEngine::with_shard_count`] enables real
-//! parallelism for the threaded drivers and benches.
+//! (`lbn % N`). Each shard manages an equal slice of the cache capacity,
+//! so allocation and eviction are decided shard-locally. With a single
+//! shard (the default, used by the paper-figure experiments) the behaviour
+//! is block-for-block identical to the original exclusive implementation;
+//! [`CacheEngine::with_shard_count`] enables real parallelism for the
+//! threaded drivers and benches.
+//!
+//! Within a shard, state is split by how hot its access path is:
+//!
+//! * **statistics** live on relaxed atomics ([`AtomicCacheStats`]) — both
+//!   recording and the aggregate [`StorageSystem::stats`] read are
+//!   lock-free;
+//! * **metadata** (plus the hot-hit descriptor) sits behind an `RwLock`
+//!   read view — read-only probes ([`CacheEngine::contains_block`],
+//!   [`CacheEngine::cached_priority`], residency counts) take the shared
+//!   read lock and never serialize with each other;
+//! * **decision state** (the policy and the slot allocator) stays behind
+//!   the stripe mutex, which every mutating path takes *together with* the
+//!   view's write lock (always mutex first).
+//!
+//! On top of that split sits an optimistic fast path for the hottest
+//! possible case: a single-block read that repeats the immediately
+//! preceding hit on its shard. When the installed policy declares repeat
+//! hits idempotent ([`CachePolicy::repeat_hit_idempotent`]) the repeat is
+//! served entirely under the read view — statistics recorded on atomics,
+//! the SSD transfer issued as usual — without acquiring the stripe mutex,
+//! because the skipped `on_hit` call is provably a no-op. Anything that
+//! could perturb policy order (a different block's hit, a write, an
+//! allocation, an eviction, a trim, a drain) falls back to the full mutex
+//! path and invalidates the descriptor. The fast path alters no simulated
+//! timing, no hit ratio and no policy decision; it only removes mutex
+//! traffic. [`CacheEngine::with_optimistic_reads`] turns it off to
+//! reproduce the fully locked hot path (the pre-optimization engine), and
+//! [`crate::ContentionCounters`] reports how often each path was taken.
 
 use crate::allocator::SlotAllocator;
 use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
 use crate::policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason};
-use crate::stats::{CacheAction, CacheStats};
+use crate::stats::{AtomicCacheStats, CacheAction, CacheStats};
 use crate::system::StorageSystem;
 use hstorage_storage::{
     BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, HddParameters,
-    IoRequest, PolicyConfig, SimClock, SsdDevice, SsdParameters, StorageDevice, TrimCommand,
+    IoRequest, PolicyConfig, QosPolicy, SimClock, SsdDevice, SsdParameters, StorageDevice,
+    TrimCommand,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Per-request batch of device traffic, flushed as one I/O per device and
@@ -51,30 +79,90 @@ struct DeviceBatch {
     hdd_write: u64,
 }
 
-/// One lock-striped partition of the cache: the metadata, policy state,
-/// allocator, write-buffer occupancy and statistics for the blocks whose
-/// address hashes to this shard.
-struct Shard {
+/// The block whose repeat read hit the optimistic path may serve without
+/// the stripe mutex: the last read hit on the shard, fingerprinted by its
+/// request shape so only a *bit-identical* repeat (same class, QoS and
+/// resolved priority — the arguments `on_hit` would receive) matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HotHit {
+    lbn: BlockAddr,
+    fingerprint: u64,
+}
+
+/// Packs the request shape a read hit hands to `CachePolicy::on_hit` into
+/// the hot-hit fingerprint. Direction is not encoded: only read hits
+/// publish a descriptor and only reads consult it.
+fn hit_fingerprint(req: &PolicyRequest) -> u64 {
+    let qos = match req.qos {
+        QosPolicy::Priority(p) => 0x100 | p.0 as u64,
+        QosPolicy::NonCachingNonEviction => 0x200,
+        QosPolicy::NonCachingEviction => 0x300,
+        QosPolicy::WriteBuffer => 0x400,
+    };
+    ((req.class as u64) << 16) | ((req.prio.0 as u64) << 32) | qos
+}
+
+/// The shared read view of one shard: everything a read-only probe or an
+/// optimistic repeat hit needs. Mutating paths hold this view's write lock
+/// (in addition to the stripe mutex), so a holder of the read lock sees a
+/// consistent metadata + hot-descriptor pair without any versioning.
+struct MetaView {
     meta: CacheMetadata,
+    /// `Some` exactly while the last completed shard visit was a read hit
+    /// and nothing has perturbed policy order since; any such block is
+    /// guaranteed resident.
+    hot: Option<HotHit>,
+}
+
+/// The decision state of one shard, only ever touched under the stripe
+/// mutex: the pluggable policy and the physical slot allocator.
+struct ShardInner {
     policy: Box<dyn CachePolicy>,
     alloc: SlotAllocator,
+}
+
+/// One lock-striped partition of the cache. See the module docs for how
+/// the three pieces (atomic statistics, `RwLock` read view, mutex-guarded
+/// decision state) divide the hot path.
+struct Shard {
+    /// Shared read view (metadata + hot-hit descriptor).
+    view: RwLock<MetaView>,
+    /// Decision state. Lock order: `inner` **before** `view`.
+    inner: Mutex<ShardInner>,
+    /// Striped statistics on relaxed atomics — recording never takes (or
+    /// extends) either lock.
+    stats: AtomicCacheStats,
     /// Maximum blocks this shard's slice of the write buffer may hold.
+    /// Immutable after construction.
     write_buffer_limit: u64,
-    /// Blocks currently resident in the write-buffer group.
-    write_buffer_resident: u64,
-    stats: CacheStats,
+    /// Blocks currently resident in the write-buffer group. Only mutated
+    /// under the stripe mutex; atomic so the occupancy getters and the
+    /// flush pre-check can read it lock-free.
+    write_buffer_resident: AtomicU64,
 }
 
 impl Shard {
     fn new(config: &PolicyConfig, capacity: u64, policy: Box<dyn CachePolicy>) -> Self {
         Shard {
-            meta: CacheMetadata::new(),
-            policy,
-            alloc: SlotAllocator::new(capacity),
+            view: RwLock::new(MetaView {
+                meta: CacheMetadata::new(),
+                hot: None,
+            }),
+            inner: Mutex::new(ShardInner {
+                policy,
+                alloc: SlotAllocator::new(capacity),
+            }),
+            stats: AtomicCacheStats::new(),
             write_buffer_limit: (capacity as f64 * config.write_buffer_fraction).floor() as u64,
-            write_buffer_resident: 0,
-            stats: CacheStats::new(),
+            write_buffer_resident: AtomicU64::new(0),
         }
+    }
+
+    /// Acquires the shard's write-side lock pair (stripe mutex first, then
+    /// the view's write lock) and counts the acquisition.
+    fn lock_for_write(&self) -> (MutexGuard<'_, ShardInner>, RwLockWriteGuard<'_, MetaView>) {
+        self.stats.record_lock_acquisition();
+        (self.inner.lock(), self.view.write())
     }
 
     /// Evicts `victim` (a block the policy *selected* via
@@ -82,34 +170,44 @@ impl Shard {
     /// dirty. The engine completes the removal by announcing it to the
     /// policy with [`RemoveReason::Evict`], so ghost-keeping policies
     /// observe their own evictions.
-    fn evict(&mut self, victim: BlockAddr, batch: &mut DeviceBatch) {
-        let entry = self
+    fn evict(
+        &self,
+        inner: &mut ShardInner,
+        view: &mut MetaView,
+        victim: BlockAddr,
+        batch: &mut DeviceBatch,
+    ) {
+        let entry = view
             .meta
             .remove(victim)
             .expect("victim tracked by policy but not in metadata");
-        self.policy
+        inner
+            .policy
             .on_remove_reasoned(victim, entry.priority, RemoveReason::Evict);
         if entry.is_dirty() {
             batch.hdd_write += 1;
         }
-        if self.policy.write_buffered(entry.priority) {
+        if inner.policy.write_buffered(entry.priority) {
             self.debit_write_buffer(1);
         }
-        self.alloc.release(entry.pbn);
+        inner.alloc.release(entry.pbn);
         self.stats.record_action(CacheAction::Eviction, 1);
     }
 
     /// Deducts `n` blocks from the write-buffer occupancy. An underflow
     /// would mean the insert/move/remove accounting diverged from the
     /// policy's group labelling — a bug worth failing loudly on, not one
-    /// to paper over with silent saturation.
-    fn debit_write_buffer(&mut self, n: u64) {
+    /// to paper over with silent saturation. Callers hold the stripe
+    /// mutex (occupancy has exactly one mutator at a time), so the
+    /// load/store pair cannot lose an update.
+    fn debit_write_buffer(&self, n: u64) {
+        let resident = self.write_buffer_resident.load(Ordering::Relaxed);
         debug_assert!(
-            self.write_buffer_resident >= n,
-            "write-buffer occupancy underflow: resident {} < debit {n}",
-            self.write_buffer_resident
+            resident >= n,
+            "write-buffer occupancy underflow: resident {resident} < debit {n}"
         );
-        self.write_buffer_resident = self.write_buffer_resident.saturating_sub(n);
+        self.write_buffer_resident
+            .store(resident.saturating_sub(n), Ordering::Relaxed);
     }
 
     /// Tries to obtain a free cache slot for `incoming` (the missing
@@ -117,48 +215,66 @@ impl Shard {
     /// shard is full. Returns the physical slot or `None` if the block
     /// must bypass the cache.
     fn try_allocate(
-        &mut self,
+        &self,
+        inner: &mut ShardInner,
+        view: &mut MetaView,
         incoming: BlockAddr,
         req: &PolicyRequest,
         batch: &mut DeviceBatch,
     ) -> Option<u64> {
-        if let Some(pbn) = self.alloc.allocate() {
+        if let Some(pbn) = inner.alloc.allocate() {
             return Some(pbn);
         }
-        let victim = self.policy.pop_victim(incoming, req)?;
-        self.evict(victim, batch);
-        self.alloc.allocate()
+        let victim = inner.policy.pop_victim(incoming, req)?;
+        self.evict(inner, view, victim, batch);
+        inner.alloc.allocate()
     }
 
     /// Handles one block of a request; returns `true` on a cache hit.
     fn handle_block(
-        &mut self,
+        &self,
+        inner: &mut ShardInner,
+        view: &mut MetaView,
         lbn: BlockAddr,
         req: &PolicyRequest,
         batch: &mut DeviceBatch,
     ) -> bool {
-        if let Some(entry) = self.meta.get(lbn).copied() {
+        if let Some(entry) = view.meta.get(lbn).copied() {
             // --- Cache hit ---
             self.stats.record_action(CacheAction::CacheHit, 1);
-            match self.policy.on_hit(lbn, entry.priority, req) {
+            match inner.policy.on_hit(lbn, entry.priority, req) {
                 HitOutcome::Unchanged => {}
-                HitOutcome::Moved(new) => self.apply_move(lbn, entry.priority, new),
+                HitOutcome::Moved(new) => self.apply_move(inner, view, lbn, entry.priority, new),
             }
             match req.direction {
-                Direction::Read => batch.ssd_read += 1,
+                Direction::Read => {
+                    batch.ssd_read += 1;
+                    // Publish the hot-hit descriptor: an immediate
+                    // bit-identical repeat of this read may skip the mutex
+                    // (consulted only when the policy declares repeats
+                    // idempotent and optimistic reads are enabled).
+                    view.hot = Some(HotHit {
+                        lbn,
+                        fingerprint: hit_fingerprint(req),
+                    });
+                }
                 Direction::Write => {
                     batch.ssd_write += 1;
-                    if let Some(e) = self.meta.get_mut(lbn) {
+                    if let Some(e) = view.meta.get_mut(lbn) {
                         e.state = BlockState::Dirty;
                     }
+                    // A write hit dirties state a repeat read would not
+                    // reproduce; drop the descriptor.
+                    view.hot = None;
                 }
             }
             return true;
         }
 
         // --- Cache miss ---
-        if !self.policy.admits(req) {
-            // Bypassing: straight to the second-level device.
+        if !inner.policy.admits(req) {
+            // Bypassing: straight to the second-level device. `admits` is
+            // a pure query, so the hot descriptor stays valid.
             self.stats.record_action(CacheAction::Bypassing, 1);
             match req.direction {
                 Direction::Read => batch.hdd_read += 1,
@@ -167,7 +283,11 @@ impl Shard {
             return false;
         }
 
-        match self.try_allocate(lbn, req, batch) {
+        // The allocation path may perturb policy order even when it ends
+        // in a bypass (ARC adapts its target on ghost hits inside
+        // `pop_victim`), so the descriptor is cleared up front.
+        view.hot = None;
+        match self.try_allocate(inner, view, lbn, req, batch) {
             Some(pbn) => {
                 let state = match req.direction {
                     Direction::Read => {
@@ -184,8 +304,8 @@ impl Shard {
                         BlockState::Dirty
                     }
                 };
-                let group = self.policy.on_insert(lbn, req);
-                self.meta.insert(
+                let group = inner.policy.on_insert(lbn, req);
+                view.meta.insert(
                     lbn,
                     CacheEntry {
                         pbn,
@@ -193,8 +313,8 @@ impl Shard {
                         state,
                     },
                 );
-                if self.policy.write_buffered(group) {
-                    self.write_buffer_resident += 1;
+                if inner.policy.write_buffered(group) {
+                    self.write_buffer_resident.fetch_add(1, Ordering::Relaxed);
                 }
             }
             None => {
@@ -211,16 +331,23 @@ impl Shard {
 
     /// Mirrors a policy-initiated group move in the metadata, write-buffer
     /// accounting and statistics.
-    fn apply_move(&mut self, lbn: BlockAddr, old: CachePriority, new: CachePriority) {
-        if let Some(e) = self.meta.get_mut(lbn) {
+    fn apply_move(
+        &self,
+        inner: &mut ShardInner,
+        view: &mut MetaView,
+        lbn: BlockAddr,
+        old: CachePriority,
+        new: CachePriority,
+    ) {
+        if let Some(e) = view.meta.get_mut(lbn) {
             e.priority = new;
         }
-        let was_buffered = self.policy.write_buffered(old);
-        let is_buffered = self.policy.write_buffered(new);
+        let was_buffered = inner.policy.write_buffered(old);
+        let is_buffered = inner.policy.write_buffered(new);
         if was_buffered && !is_buffered {
             self.debit_write_buffer(1);
         } else if is_buffered && !was_buffered {
-            self.write_buffer_resident += 1;
+            self.write_buffer_resident.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.record_action(CacheAction::ReAllocation, 1);
     }
@@ -228,26 +355,33 @@ impl Shard {
     /// Drains the shard's write buffer if its occupancy exceeds the limit:
     /// buffered blocks are dropped from the cache and the number of *dirty*
     /// blocks (which must be written to the HDD by the caller, outside the
-    /// shard lock) is returned.
-    fn drain_write_buffer_if_full(&mut self) -> Option<u64> {
-        if self.write_buffer_limit == 0 || self.write_buffer_resident <= self.write_buffer_limit {
+    /// shard locks) is returned.
+    fn drain_write_buffer_if_full(
+        &self,
+        inner: &mut ShardInner,
+        view: &mut MetaView,
+    ) -> Option<u64> {
+        if self.write_buffer_limit == 0
+            || self.write_buffer_resident.load(Ordering::Relaxed) <= self.write_buffer_limit
+        {
             return None;
         }
-        let buffered = self.policy.drain_write_buffer();
+        let buffered = inner.policy.drain_write_buffer();
         let mut dirty_blocks = 0u64;
         let mut removed = 0u64;
         for lbn in buffered {
-            if let Some(entry) = self.meta.remove(lbn) {
+            if let Some(entry) = view.meta.remove(lbn) {
                 // The drain names buffered blocks without untracking them;
                 // the engine completes each removal. A drain is an engine
                 // displacement, so ghost-keeping policies see `Evict`, not
                 // `Trim` (the block's data is still live on the HDD).
-                self.policy
+                inner
+                    .policy
                     .on_remove_reasoned(lbn, entry.priority, RemoveReason::Evict);
                 if entry.is_dirty() {
                     dirty_blocks += 1;
                 }
-                self.alloc.release(entry.pbn);
+                inner.alloc.release(entry.pbn);
                 removed += 1;
             }
         }
@@ -255,26 +389,31 @@ impl Shard {
         // shipped policy — this zeroes the counter) so a policy whose
         // drain is partial cannot desynchronize the occupancy accounting.
         self.debit_write_buffer(removed);
+        view.hot = None;
         self.stats
             .record_action(CacheAction::WriteBufferFlush, dirty_blocks);
         Some(dirty_blocks)
     }
 
     /// Invalidates one block if resident; returns 1 if it was trimmed.
-    fn trim_block(&mut self, lbn: BlockAddr) -> u64 {
-        let Some(entry) = self.meta.remove(lbn) else {
+    /// Conservatively drops the hot descriptor either way (an absent trim
+    /// may still touch ghost history).
+    fn trim_block(&self, inner: &mut ShardInner, view: &mut MetaView, lbn: BlockAddr) -> u64 {
+        view.hot = None;
+        let Some(entry) = view.meta.remove(lbn) else {
             // The block's lifetime ended while not resident: policies
             // keeping history about absent addresses (ghost lists)
             // must still forget it.
-            self.policy.on_trim_absent(lbn);
+            inner.policy.on_trim_absent(lbn);
             return 0;
         };
-        self.policy
+        inner
+            .policy
             .on_remove_reasoned(lbn, entry.priority, RemoveReason::Trim);
-        if self.policy.write_buffered(entry.priority) {
+        if inner.policy.write_buffered(entry.priority) {
             self.debit_write_buffer(1);
         }
-        self.alloc.release(entry.pbn);
+        inner.alloc.release(entry.pbn);
         1
     }
 }
@@ -294,11 +433,17 @@ pub struct CacheEngine {
     /// When it does not, the write-buffer flush checks and the batch
     /// run-splitting they require are skipped entirely.
     write_buffering: bool,
+    /// The [`Self::with_optimistic_reads`] knob (default `true`).
+    optimistic_reads: bool,
+    /// Derived: the knob is on **and** the installed policy declares
+    /// repeat hits idempotent — the precondition for consulting the
+    /// hot-hit descriptor.
+    hit_fast_path: bool,
     cache_capacity: u64,
     clock: SimClock,
     ssd: SsdDevice,
     hdd: HddDevice,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Shard>,
 }
 
 impl CacheEngine {
@@ -381,7 +526,7 @@ impl CacheEngine {
         let shards = (0..n)
             .map(|i| {
                 let capacity = cache_capacity_blocks / n + u64::from(i < cache_capacity_blocks % n);
-                Mutex::new(Shard::new(&config, capacity, kind.build(&config, capacity)))
+                Shard::new(&config, capacity, kind.build(&config, capacity))
             })
             .collect();
         let mut engine = CacheEngine {
@@ -389,27 +534,36 @@ impl CacheEngine {
             policy_kind: kind,
             name: kind.system_name().to_string(),
             write_buffering: true,
+            optimistic_reads: true,
+            hit_fast_path: false,
             cache_capacity: cache_capacity_blocks,
             clock,
             ssd,
             hdd,
             shards,
         };
-        engine.refresh_write_buffering();
+        engine.refresh_policy_traits();
         engine
     }
 
-    /// Re-derives [`Self::write_buffering`] from the installed policy and
-    /// enforces the write-buffer contract: the engine's buffer mechanism
-    /// (limit, flush trigger, batch run-splitting) is keyed to group 0,
-    /// so a policy declaring any other group buffered would accumulate
-    /// occupancy the engine never flushes.
-    fn refresh_write_buffering(&mut self) {
+    /// Re-derives the policy-dependent engine flags from the installed
+    /// policy:
+    ///
+    /// * [`Self::write_buffering`] — and with it the write-buffer
+    ///   contract: the engine's buffer mechanism (limit, flush trigger,
+    ///   batch run-splitting) is keyed to group 0, so a policy declaring
+    ///   any other group buffered would accumulate occupancy the engine
+    ///   never flushes;
+    /// * [`Self::hit_fast_path`] — optimistic repeat hits are consulted
+    ///   only when the policy declares them idempotent **and** the
+    ///   [`Self::with_optimistic_reads`] knob is on.
+    fn refresh_policy_traits(&mut self) {
         let Some(shard) = self.shards.first_mut() else {
             self.write_buffering = false;
+            self.hit_fast_path = false;
             return;
         };
-        let policy = &shard.get_mut().policy;
+        let policy = &shard.inner.get_mut().policy;
         self.write_buffering = policy.write_buffered(CachePriority(0));
         for group in 1..=u8::MAX {
             assert!(
@@ -418,6 +572,7 @@ impl CacheEngine {
                  write buffer is group 0 (see CachePolicy::write_buffered)"
             );
         }
+        self.hit_fast_path = self.optimistic_reads && policy.repeat_hit_idempotent();
     }
 
     /// Selects which shipped [`CachePolicyKind`] drives the engine's
@@ -429,14 +584,14 @@ impl CacheEngine {
         self.policy_kind = kind;
         self.name = kind.system_name().to_string();
         for shard in &mut self.shards {
-            let shard = shard.get_mut();
             assert!(
-                shard.meta.is_empty(),
+                shard.view.get_mut().meta.is_empty(),
                 "cache policy must be selected before submitting traffic"
             );
-            shard.policy = kind.build(&self.config, shard.alloc.capacity());
+            let inner = shard.inner.get_mut();
+            inner.policy = kind.build(&self.config, inner.alloc.capacity());
         }
-        self.refresh_write_buffering();
+        self.refresh_policy_traits();
         self
     }
 
@@ -451,15 +606,34 @@ impl CacheEngine {
     ) -> Self {
         self.name = name.into();
         for shard in &mut self.shards {
-            let shard = shard.get_mut();
             assert!(
-                shard.meta.is_empty(),
+                shard.view.get_mut().meta.is_empty(),
                 "cache policy must be installed before submitting traffic"
             );
-            shard.policy = factory(shard.alloc.capacity());
+            let inner = shard.inner.get_mut();
+            inner.policy = factory(inner.alloc.capacity());
         }
-        self.refresh_write_buffering();
+        self.refresh_policy_traits();
         self
+    }
+
+    /// Enables or disables the optimistic repeat-hit read path (default:
+    /// enabled). Disabled, every submission takes the stripe mutex — the
+    /// pre-optimization hot path — which is what the contended-throughput
+    /// bench compares against and what the equivalence suites pin the
+    /// optimistic path to. The knob never changes caching behaviour, only
+    /// which locks the hot path touches; read-only probes stay lock-free
+    /// either way.
+    pub fn with_optimistic_reads(mut self, enabled: bool) -> Self {
+        self.optimistic_reads = enabled;
+        self.refresh_policy_traits();
+        self
+    }
+
+    /// Whether the optimistic repeat-hit path is in force (the knob is on
+    /// and the installed policy declares repeat hits idempotent).
+    pub fn optimistic_reads_active(&self) -> bool {
+        self.hit_fast_path
     }
 
     /// The `{N, t, b}` policy configuration in force.
@@ -485,39 +659,46 @@ impl CacheEngine {
     }
 
     /// Maximum number of blocks the write buffer may hold before a flush
-    /// (summed over all shards).
+    /// (summed over all shards). Lock-free: the limits are fixed at
+    /// construction.
     pub fn write_buffer_limit(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().write_buffer_limit)
-            .sum()
+        self.shards.iter().map(|s| s.write_buffer_limit).sum()
     }
 
-    /// Number of blocks currently held in the write buffer.
+    /// Number of blocks currently held in the write buffer. Lock-free:
+    /// occupancy is kept on per-shard atomics.
     pub fn write_buffer_resident(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().write_buffer_resident)
+            .map(|s| s.write_buffer_resident.load(Ordering::Relaxed))
             .sum()
     }
 
-    /// Whether `lbn` is currently resident in the cache.
+    /// Whether `lbn` is currently resident in the cache. Served through
+    /// the shard's read view — never contends with other probes, only
+    /// with a concurrent mutation of the same shard.
     pub fn contains_block(&self, lbn: BlockAddr) -> bool {
-        self.shard(lbn).lock().meta.contains(lbn)
+        self.shard(lbn).view.read().meta.contains(lbn)
     }
 
     /// The priority group `lbn` currently lives in, if resident (for the
     /// non-semantic policies this is the informational label recorded at
-    /// insertion).
+    /// insertion). Served through the shard's read view, like
+    /// [`Self::contains_block`].
     pub fn cached_priority(&self, lbn: BlockAddr) -> Option<CachePriority> {
-        self.shard(lbn).lock().meta.get(lbn).map(|e| e.priority)
+        self.shard(lbn)
+            .view
+            .read()
+            .meta
+            .get(lbn)
+            .map(|e| e.priority)
     }
 
     fn shard_index(&self, lbn: BlockAddr) -> usize {
         (lbn.0 % self.shards.len() as u64) as usize
     }
 
-    fn shard(&self, lbn: BlockAddr) -> &Mutex<Shard> {
+    fn shard(&self, lbn: BlockAddr) -> &Shard {
         &self.shards[self.shard_index(lbn)]
     }
 
@@ -528,6 +709,54 @@ impl CacheEngine {
             qos: req.policy,
             prio: self.config.resolve(req.policy),
         }
+    }
+
+    /// The optimistic fast path: serves `req` entirely under the shard's
+    /// read view iff it is a single-block read repeating the immediately
+    /// preceding hit on its shard (same block, same request shape). The
+    /// skipped `on_hit` is a no-op by the
+    /// [`CachePolicy::repeat_hit_idempotent`] contract, so metadata,
+    /// policy state, statistics totals and the SSD transfer (timing
+    /// included) come out identical to the mutex path. Returns `false`
+    /// when the request must take the slow path.
+    fn try_fast_read_hit(&self, req: &ClassifiedRequest, preq: &PolicyRequest) -> bool {
+        if !self.hit_fast_path
+            || req.blocks() != 1
+            || req.io.direction != Direction::Read
+            // Buffered-priority requests keep the per-request flush check
+            // of the slow path (a pure hit cannot grow the buffer, but the
+            // conservative skip keeps the two paths trivially equivalent).
+            || (self.write_buffering && preq.prio == CachePriority(0))
+        {
+            return false;
+        }
+        let lbn = req.io.range.start;
+        let shard = self.shard(lbn);
+        {
+            let view = shard.view.read();
+            let expected = HotHit {
+                lbn,
+                fingerprint: hit_fingerprint(preq),
+            };
+            if view.hot != Some(expected) {
+                return false;
+            }
+            debug_assert!(
+                view.meta.contains(lbn),
+                "hot-hit descriptor names a non-resident block"
+            );
+        }
+        // Statistics are atomics and the device has its own
+        // synchronization, so the view is released first — mirroring the
+        // slow path, which issues device traffic after dropping its shard
+        // guards.
+        shard.stats.record_action(CacheAction::CacheHit, 1);
+        shard.stats.record_class(req.class, 1, 1);
+        shard.stats.record_priority(preq.prio.0, 1, 1);
+        shard.stats.record_fast_path_hit();
+        self.ssd
+            .serve(&IoRequest::read(BlockRange::new(lbn, 1), req.io.sequential));
+        true
     }
 
     /// Issues the accumulated device traffic for one request.
@@ -584,16 +813,20 @@ impl CacheEngine {
         let mut batches = vec![DeviceBatch::default(); reqs.len()];
 
         if self.shards.len() == 1 {
-            // The whole run — block work and request counters — under a
-            // single lock acquisition.
-            let mut shard = self.shards[0].lock();
+            // The whole run's block work under a single lock acquisition.
+            let shard = &self.shards[0];
+            let (mut inner, mut view) = shard.lock_for_write();
             for (i, req) in reqs.iter().enumerate() {
                 for lbn in req.io.range.iter() {
-                    if shard.handle_block(lbn, &preqs[i], &mut batches[i]) {
+                    if shard.handle_block(&mut inner, &mut view, lbn, &preqs[i], &mut batches[i]) {
                         hits[i] += 1;
                     }
                 }
             }
+            drop(view);
+            drop(inner);
+            // Request-level counters are atomics; recording them after the
+            // guards drop changes nothing about the totals.
             for (i, req) in reqs.iter().enumerate() {
                 shard.stats.record_class(req.class, req.blocks(), hits[i]);
                 shard
@@ -613,17 +846,18 @@ impl CacheEngine {
                 if blocks.is_empty() {
                     continue;
                 }
-                let mut shard = self.shards[idx].lock();
+                let shard = &self.shards[idx];
+                let (mut inner, mut view) = shard.lock_for_write();
                 for &(i, lbn) in blocks {
                     let i = i as usize;
-                    if shard.handle_block(lbn, &preqs[i], &mut batches[i]) {
+                    if shard.handle_block(&mut inner, &mut view, lbn, &preqs[i], &mut batches[i]) {
                         hits[i] += 1;
                     }
                 }
             }
             // Request-level counters are striped to the run's first shard;
             // the aggregate view sums all stripes, so placement is free.
-            let mut shard = self.shard(reqs[0].io.range.start).lock();
+            let shard = self.shard(reqs[0].io.range.start);
             for (i, req) in reqs.iter().enumerate() {
                 shard.stats.record_class(req.class, req.blocks(), hits[i]);
                 shard
@@ -669,7 +903,19 @@ impl CacheEngine {
     /// returned to the cache.
     fn maybe_flush_write_buffers(&self) {
         for shard in &self.shards {
-            let drained = shard.lock().drain_write_buffer_if_full();
+            // Lock-free occupancy screen. Occupancy only moves under the
+            // stripe mutex and the thread that pushed it over the limit
+            // sees its own increment here, so a needed flush is never
+            // skipped; shards that cannot need one are not locked at all.
+            if shard.write_buffer_limit == 0
+                || shard.write_buffer_resident.load(Ordering::Relaxed) <= shard.write_buffer_limit
+            {
+                continue;
+            }
+            let (mut inner, mut view) = shard.lock_for_write();
+            let drained = shard.drain_write_buffer_if_full(&mut inner, &mut view);
+            drop(view);
+            drop(inner);
             if let Some(dirty_blocks) = drained {
                 if dirty_blocks > 0 {
                     // The flush is a large, mostly sequential transfer.
@@ -688,38 +934,41 @@ impl StorageSystem for CacheEngine {
 
     fn submit(&self, req: ClassifiedRequest) {
         let preq = self.policy_request(&req);
+        if self.try_fast_read_hit(&req, &preq) {
+            return;
+        }
         let mut batch = DeviceBatch::default();
         let mut hits = 0u64;
-        // Hold one shard lock at a time, re-acquiring only when the next
-        // block hashes to a different shard: with one shard the whole
-        // request — including the request-level counters below — is handled
-        // under a single lock acquisition, exactly like the unsharded
-        // implementation.
-        let mut guard = None;
+        // Hold one shard's lock pair at a time, re-acquiring only when the
+        // next block hashes to a different shard: with one shard the whole
+        // request's block work is handled under a single acquisition,
+        // exactly like the unsharded implementation.
+        let mut guard: Option<(MutexGuard<'_, ShardInner>, RwLockWriteGuard<'_, MetaView>)> = None;
         let mut guard_idx = usize::MAX;
         for lbn in req.io.range.iter() {
             let idx = self.shard_index(lbn);
             if guard_idx != idx {
                 // Release the old shard before acquiring the next one:
-                // assigning directly would briefly hold both locks, and
-                // ascending block addresses make the transition order
-                // cyclic (N-1 → 0), which can deadlock N concurrent
-                // multi-block submits.
+                // assigning directly would briefly hold both shards'
+                // locks, and ascending block addresses make the
+                // transition order cyclic (N-1 → 0), which can deadlock N
+                // concurrent multi-block submits.
                 drop(guard.take());
-                guard = Some(self.shards[idx].lock());
+                guard = Some(self.shards[idx].lock_for_write());
                 guard_idx = idx;
             }
-            let shard = guard.as_mut().expect("shard guard just acquired");
-            if shard.handle_block(lbn, &preq, &mut batch) {
+            let (inner, view) = guard.as_mut().expect("shard guard just acquired");
+            if self.shards[idx].handle_block(inner, view, lbn, &preq, &mut batch) {
                 hits += 1;
             }
         }
-        // Request-level counters are striped to the last touched shard (the
-        // only shard, when unsharded); the aggregate view sums all stripes.
-        let mut shard = guard.unwrap_or_else(|| self.shard(req.io.range.start).lock());
+        drop(guard);
+        // Request-level counters are striped to the first shard (the only
+        // shard, when unsharded); they are atomics, so no lock is needed
+        // and the aggregate view sums all stripes.
+        let shard = self.shard(req.io.range.start);
         shard.stats.record_class(req.class, req.blocks(), hits);
         shard.stats.record_priority(preq.prio.0, req.blocks(), hits);
-        drop(shard);
         self.flush_batch(&req, batch);
         // Only write-buffer traffic can grow the buffer, so the flush
         // check is needed — and its cost paid — only under a buffering
@@ -764,14 +1013,15 @@ impl StorageSystem for CacheEngine {
             let mut blocks_iter = range.iter().peekable();
             while let Some(lbn) = blocks_iter.next() {
                 let idx = self.shard_index(lbn);
-                let mut shard = self.shards[idx].lock();
-                let mut trimmed = shard.trim_block(lbn);
+                let shard = &self.shards[idx];
+                let (mut inner, mut view) = shard.lock_for_write();
+                let mut trimmed = shard.trim_block(&mut inner, &mut view, lbn);
                 while let Some(&next) = blocks_iter.peek() {
                     if self.shard_index(next) != idx {
                         break;
                     }
                     blocks_iter.next();
-                    trimmed += shard.trim_block(next);
+                    trimmed += shard.trim_block(&mut inner, &mut view, next);
                 }
                 if trimmed > 0 {
                     shard.stats.record_action(CacheAction::Trim, trimmed);
@@ -781,12 +1031,13 @@ impl StorageSystem for CacheEngine {
     }
 
     fn stats(&self) -> CacheStats {
+        // Lock-free aggregation: per-shard snapshots are atomic reads, and
+        // the residency count takes only the shared read view.
         let mut aggregate = CacheStats::new();
         let mut resident = 0u64;
         for shard in &self.shards {
-            let shard = shard.lock();
-            aggregate.merge(&shard.stats);
-            resident += shard.meta.len() as u64;
+            aggregate.merge(&shard.stats.snapshot());
+            resident += shard.view.read().meta.len() as u64;
         }
         aggregate.resident_blocks = resident;
         aggregate.ssd = Some(self.ssd.stats());
@@ -800,14 +1051,17 @@ impl StorageSystem for CacheEngine {
 
     fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.lock().stats = CacheStats::new();
+            shard.stats.reset();
         }
         self.ssd.reset_stats();
         self.hdd.reset_stats();
     }
 
     fn resident_blocks(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().meta.len() as u64).sum()
+        self.shards
+            .iter()
+            .map(|s| s.view.read().meta.len() as u64)
+            .sum()
     }
 }
 
@@ -1411,5 +1665,126 @@ mod tests {
             assert_eq!(batched.stats(), sequential.stats(), "{kind}");
             assert_eq!(batched.now(), sequential.now(), "{kind}");
         }
+    }
+
+    /// A repeat-heavy single-block trace (every policy admits at least the
+    /// priority-2 random reads, and the back-to-back repeats are what the
+    /// fast path serves).
+    fn repeat_heavy_trace() -> Vec<ClassifiedRequest> {
+        let mut reqs = Vec::new();
+        for round in 0..40u64 {
+            for i in 0..6u64 {
+                let r = read_req(i, 1, RequestClass::Random, QosPolicy::priority(2));
+                // Three consecutive identical reads: the second and third
+                // are bit-identical repeats of the first's hit.
+                reqs.push(r);
+                reqs.push(r);
+                reqs.push(r);
+            }
+            // Perturbations between repeat bursts: a miss-and-allocate, a
+            // write hit, a buffered update, and a trim.
+            reqs.push(read_req(
+                100 + round,
+                1,
+                RequestClass::Random,
+                QosPolicy::priority(2),
+            ));
+            reqs.push(write_req(
+                round % 6,
+                1,
+                RequestClass::Update,
+                QosPolicy::priority(3),
+            ));
+            reqs.push(write_req(
+                200 + round % 5,
+                1,
+                RequestClass::Update,
+                QosPolicy::WriteBuffer,
+            ));
+        }
+        reqs
+    }
+
+    #[test]
+    fn optimistic_reads_match_the_locked_path_for_every_policy() {
+        // The fast path must change nothing observable: logical statistics,
+        // simulated time, residency and per-block state all agree with the
+        // engine that takes the mutex on every submission.
+        for kind in CachePolicyKind::all() {
+            let optimistic = engine(kind, 64);
+            let locked = engine(kind, 64).with_optimistic_reads(false);
+            assert!(optimistic.optimistic_reads_active(), "{kind}");
+            assert!(!locked.optimistic_reads_active(), "{kind}");
+            for req in repeat_heavy_trace() {
+                optimistic.submit(req);
+                locked.submit(req);
+            }
+            optimistic.trim(&TrimCommand::single(BlockRange::new(0u64, 3)));
+            locked.trim(&TrimCommand::single(BlockRange::new(0u64, 3)));
+            assert_eq!(optimistic.stats(), locked.stats(), "{kind}");
+            assert_eq!(optimistic.now(), locked.now(), "{kind}");
+            assert_eq!(optimistic.resident_blocks(), locked.resident_blocks());
+            for lbn in 0..250u64 {
+                assert_eq!(
+                    optimistic.cached_priority(BlockAddr(lbn)),
+                    locked.cached_priority(BlockAddr(lbn)),
+                    "{kind} block {lbn}"
+                );
+            }
+            // And the diagnostic counters prove the paths diverged where
+            // they should: repeats were served lock-free on one engine and
+            // through the mutex on the other.
+            assert!(
+                optimistic.stats().contention.fast_path_hits > 0,
+                "{kind}: the repeat-heavy trace must exercise the fast path"
+            );
+            assert_eq!(locked.stats().contention.fast_path_hits, 0, "{kind}");
+            assert!(
+                optimistic.stats().contention.lock_acquisitions
+                    < locked.stats().contention.lock_acquisitions,
+                "{kind}: the fast path must shed lock acquisitions"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_serves_only_bit_identical_repeats() {
+        let c = engine(CachePolicyKind::Lru, 64);
+        let r = |class, qos| read_req(5, 1, class, qos);
+        c.submit(r(RequestClass::Random, QosPolicy::priority(2)));
+        assert_eq!(c.stats().contention.fast_path_hits, 0, "miss: slow path");
+        c.submit(r(RequestClass::Random, QosPolicy::priority(2)));
+        assert_eq!(c.stats().contention.fast_path_hits, 0, "first hit arms");
+        c.submit(r(RequestClass::Random, QosPolicy::priority(2)));
+        assert_eq!(c.stats().contention.fast_path_hits, 1, "repeat is served");
+        // A different request shape on the same block is not a repeat —
+        // the policy must see it — but it re-arms the descriptor.
+        c.submit(r(RequestClass::Update, QosPolicy::priority(2)));
+        assert_eq!(c.stats().contention.fast_path_hits, 1);
+        c.submit(r(RequestClass::Update, QosPolicy::priority(2)));
+        assert_eq!(c.stats().contention.fast_path_hits, 2);
+        // Multi-block reads never take the fast path.
+        c.submit(read_req(5, 2, RequestClass::Random, QosPolicy::priority(2)));
+        let after_multi = c.stats().contention.fast_path_hits;
+        assert_eq!(after_multi, 2);
+    }
+
+    #[test]
+    fn probes_do_not_take_the_stripe_mutex() {
+        // Hold every shard's stripe mutex and drive the read-only probes:
+        // if any of them needed the mutex this test would deadlock. (The
+        // probes go through the RwLock read view and the atomics instead.)
+        let c = engine(CachePolicyKind::SemanticPriority, 64);
+        c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
+        let guards: Vec<_> = c.shards.iter().map(|s| s.inner.lock()).collect();
+        assert!(c.contains_block(BlockAddr(1)));
+        assert_eq!(c.cached_priority(BlockAddr(1)), Some(CachePriority(2)));
+        assert_eq!(c.resident_blocks(), 1);
+        assert_eq!(c.write_buffer_resident(), 0);
+        assert_eq!(c.write_buffer_limit(), 6);
+        let stats = c.stats();
+        assert_eq!(stats.resident_blocks, 1);
+        assert_eq!(stats.class(RequestClass::Random).accessed_blocks, 1);
+        drop(guards);
     }
 }

@@ -52,6 +52,8 @@ pub use policy::{
     CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason, StreamPolicyKind,
     StreamRouting,
 };
-pub use stats::{CacheAction, CacheStats, ClassCounters, LatencyHistogram};
+pub use stats::{
+    AtomicCacheStats, CacheAction, CacheStats, ClassCounters, ContentionCounters, LatencyHistogram,
+};
 pub use system::StorageSystem;
 pub use trace::{Trace, TraceEvent, TraceRecorder};

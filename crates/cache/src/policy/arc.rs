@@ -161,6 +161,14 @@ impl CachePolicy for ArcPolicy {
         true
     }
 
+    // The first hit moves the block T1 → T2 (or refreshes it in T2); the
+    // repeat finds it already at the T2 MRU, so the second `touch` changes
+    // nothing. The adaptation of `p` happens only on misses (ghost hits in
+    // `pop_victim`), never on hits, so skipping the repeat is safe.
+    fn repeat_hit_idempotent(&self) -> bool {
+        true
+    }
+
     fn pop_victim(&mut self, incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         // Adapt p on a ghost hit *before* REPLACE, as in the paper, and
         // apply the paper's tie-break toward T1 when the miss is a B2

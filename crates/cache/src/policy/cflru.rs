@@ -76,6 +76,14 @@ impl CachePolicy for CflruPolicy {
         true
     }
 
+    // Re-touching the most-recent block keeps the stack order; re-adding
+    // an address to the dirty set is a set no-op. A repeat hit (same
+    // direction included — the contract requires identical arguments)
+    // therefore changes nothing.
+    fn repeat_hit_idempotent(&self) -> bool {
+        true
+    }
+
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         // Selection only (the engine's Evict notification untracks the
         // block via `on_remove`): prefer the oldest clean block inside the

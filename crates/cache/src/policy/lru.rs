@@ -37,6 +37,12 @@ impl CachePolicy for LruPolicy {
         true
     }
 
+    // Touching the block that is already most-recent leaves the stack
+    // order unchanged, so a repeat hit is a no-op.
+    fn repeat_hit_idempotent(&self) -> bool {
+        true
+    }
+
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         // Selection only: the block leaves the stack when the engine's
         // Evict notification reaches `on_remove`.

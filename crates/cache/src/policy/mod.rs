@@ -201,6 +201,26 @@ pub trait CachePolicy: Send {
     /// goes straight to the second-level device).
     fn admits(&self, req: &PolicyRequest) -> bool;
 
+    /// Whether a *repeat* hit is a no-op: calling [`CachePolicy::on_hit`]
+    /// twice in a row with identical arguments (same block, same label,
+    /// same request shape, no other policy event in between) leaves the
+    /// policy in exactly the state the first call produced, and returns
+    /// [`HitOutcome::Unchanged`] the second time.
+    ///
+    /// Policies declaring `true` opt their blocks into the engine's
+    /// optimistic read path: a single-block read that repeats the
+    /// immediately preceding hit on its shard is served through the shared
+    /// metadata read view — statistics and device timing recorded, policy
+    /// untouched — without acquiring the stripe mutex. That is only sound
+    /// when the skipped `on_hit` is provably a no-op, which is exactly
+    /// this contract. Every shipped policy satisfies it (an LRU touch of
+    /// the block that is already most-recent does not reorder anything);
+    /// the conservative default is `false`, so custom policies keep the
+    /// always-locked behaviour unless they opt in.
+    fn repeat_hit_idempotent(&self) -> bool {
+        false
+    }
+
     /// The shard is full and `incoming` (the missing block of `req`) was
     /// admitted: name the tracked block to displace, or `None` if the
     /// incoming block is not worth a resident one (the request then

@@ -352,6 +352,15 @@ impl CachePolicy for PerStreamPolicy {
         self.inners[self.route_for(req)].admits(req)
     }
 
+    // A hit only routes to the block's owning inner; the compositor keeps
+    // no hit-order state of its own, so the repeat is idempotent exactly
+    // when every inner's is.
+    fn repeat_hit_idempotent(&self) -> bool {
+        self.inners
+            .iter()
+            .all(|inner| inner.repeat_hit_idempotent())
+    }
+
     fn pop_victim(&mut self, incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr> {
         // The stream's own inner chooses first. If it *has* residents and
         // still declines (the semantic policy refusing to displace

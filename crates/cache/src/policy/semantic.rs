@@ -76,6 +76,15 @@ impl CachePolicy for SemanticPriorityPolicy {
         req.qos.admits() && self.config.admissible(req.prio)
     }
 
+    // Every repeat outcome is a no-op: the non-caching QoS branches do
+    // nothing at all, and the priority branches either re-allocate to the
+    // group the first hit already moved the block into (so `current ==
+    // req.prio` the second time, taking the touch branch) or re-touch the
+    // group MRU the block already occupies.
+    fn repeat_hit_idempotent(&self) -> bool {
+        true
+    }
+
     fn pop_victim(&mut self, _incoming: BlockAddr, req: &PolicyRequest) -> Option<BlockAddr> {
         // Selective allocation: admit only if some resident block has an
         // equal or lower priority (a numerically >= priority value). The

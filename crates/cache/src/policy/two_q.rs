@@ -93,6 +93,12 @@ impl CachePolicy for TwoQPolicy {
         true
     }
 
+    // A repeat hit re-touches the Am MRU (order unchanged) or repeats the
+    // deliberate A1in no-op — idempotent either way.
+    fn repeat_hit_idempotent(&self) -> bool {
+        true
+    }
+
     fn pop_victim(&mut self, _incoming: BlockAddr, _req: &PolicyRequest) -> Option<BlockAddr> {
         // Selection only: reclaim from the probationary queue while it is
         // over target, otherwise from the LRU end of Am. Ghosting happens

@@ -56,6 +56,6 @@ pub use program::{compile, CompileOptions, IoOp, RequestProgram};
 pub use semantic::{AccessPattern, ContentType, SemanticInfo};
 pub use service::{
     run_streams_service, QueryRequest, QueryResponse, QueryService, ServiceConfig, ServiceReport,
-    SubmitError,
+    SubmitError, WorkerStats,
 };
 pub use stats::QueryStats;

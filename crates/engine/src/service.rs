@@ -33,13 +33,23 @@
 //! [`LatencyHistogram`], and returns results grouped by stream. With one
 //! worker the execution order is fully deterministic, which is what the
 //! `bench_gate` latency rows pin.
+//!
+//! Statistics are **sharded per worker**: each worker accumulates its own
+//! completion count and latency samples ([`WorkerStats`]) thread-locally
+//! and hands them over only at join time, so reply-path accounting never
+//! takes a lock the submit path (or another worker) contends on. The
+//! driver merges the shards in worker-index order into the aggregate
+//! histogram, which keeps the single-worker report bit-identical to the
+//! old driver-side accounting. The report also carries the storage
+//! system's [`ContentionCounters`], so a run exposes how often the cache
+//! hot path went lock-free.
 
 use crate::catalog::Catalog;
 use crate::concurrency::ConcurrencyRegistry;
 use crate::executor::{CompletedQuery, ExecutorConfig, QueryExecutor, StreamSpec};
 use crate::plan::PlanTree;
 use crate::stats::QueryStats;
-use hstorage_cache::{LatencyHistogram, StorageSystem};
+use hstorage_cache::{ContentionCounters, LatencyHistogram, StorageSystem};
 use hstorage_storage::{BlockRange, PolicyConfig};
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -226,6 +236,31 @@ impl SubmissionQueue {
     }
 }
 
+/// Per-worker statistics shard: everything one service worker accounted
+/// for entirely thread-locally (no shared counter is touched on the reply
+/// path). Collected at join time and reported through
+/// [`ServiceReport::per_worker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Index of the worker (its spawn order, `0..worker_count`).
+    pub worker: usize,
+    /// Number of requests this worker completed.
+    pub completed: u64,
+    /// One simulated-latency sample per completed request, in the order
+    /// this worker executed them.
+    pub latency: LatencyHistogram,
+}
+
+impl WorkerStats {
+    fn new(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            completed: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+}
+
 /// The request/response query service: a fixed worker pool consuming
 /// [`QueryRequest`]s from a bounded submission queue.
 ///
@@ -239,7 +274,7 @@ impl SubmissionQueue {
 /// queue, lets the workers drain it, and joins them.
 pub struct QueryService {
     queue: Arc<SubmissionQueue>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<WorkerStats>>,
 }
 
 impl QueryService {
@@ -280,10 +315,16 @@ impl QueryService {
                 std::thread::spawn(move || {
                     let mut executor =
                         QueryExecutor::with_registry(worker_config, policy, registry);
+                    // Accounting is sharded: this worker's completion
+                    // count and latency samples live on its own stack and
+                    // are handed over only at join time.
+                    let mut worker_stats = WorkerStats::new(idx);
                     while let Some(req) = queue.pop() {
                         let started = storage.now();
                         let stats = executor.run_query(&req.plan, &mut catalog, storage.as_ref());
                         let sim_latency = storage.now().saturating_sub(started);
+                        worker_stats.completed += 1;
+                        worker_stats.latency.record(sim_latency);
                         // A dropped receiver means the submitter stopped
                         // listening; the query still ran, drop the reply.
                         let _ = req.reply.send(QueryResponse {
@@ -292,6 +333,7 @@ impl QueryService {
                             sim_latency,
                         });
                     }
+                    worker_stats
                 })
             })
             .collect();
@@ -325,22 +367,26 @@ impl QueryService {
     }
 
     /// Closes the queue, lets the workers drain the remaining requests,
-    /// and joins them.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
+    /// joins them, and returns each worker's statistics shard in worker
+    /// order.
+    pub fn shutdown(mut self) -> Vec<WorkerStats> {
+        self.shutdown_in_place()
     }
 
-    fn shutdown_in_place(&mut self) {
+    fn shutdown_in_place(&mut self) -> Vec<WorkerStats> {
         self.queue.close();
-        for handle in self.workers.drain(..) {
-            handle.join().expect("service worker panicked");
-        }
+        // Spawn order == worker index, so the collected shards arrive
+        // already sorted by `WorkerStats::worker`.
+        self.workers
+            .drain(..)
+            .map(|handle| handle.join().expect("service worker panicked"))
+            .collect()
     }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        self.shutdown_in_place();
+        let _ = self.shutdown_in_place();
     }
 }
 
@@ -350,8 +396,15 @@ pub struct ServiceReport {
     /// Completed queries grouped by stream, in stream order (the same
     /// shape [`crate::run_threaded`] returns).
     pub completed: Vec<CompletedQuery>,
-    /// One simulated-latency sample per completed query.
+    /// One simulated-latency sample per completed query: the per-worker
+    /// shards merged in worker-index order.
     pub latency: LatencyHistogram,
+    /// Each worker's thread-local statistics shard, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+    /// The storage system's lock-contention counters over the whole run
+    /// (lock acquisitions vs optimistic fast-path hits on the cache hot
+    /// path) — the signal future regression gates key on.
+    pub contention: ContentionCounters,
 }
 
 /// Runs query streams through a [`QueryService`] in a closed loop: every
@@ -383,7 +436,6 @@ pub fn run_streams_service(
     let (reply, responses) = mpsc::channel();
     let mut cursors: Vec<usize> = vec![0; streams.len()];
     let mut results: Vec<Vec<QueryStats>> = streams.iter().map(|_| Vec::new()).collect();
-    let mut latency = LatencyHistogram::new();
     let mut in_flight = 0usize;
 
     let submit = |svc: &QueryService, idx: usize, query: usize| {
@@ -407,7 +459,6 @@ pub fn run_streams_service(
     while in_flight > 0 {
         let resp = responses.recv().expect("service workers hung up early");
         in_flight -= 1;
-        latency.record(resp.sim_latency);
         results[resp.stream].push(resp.stats);
         let next = cursors[resp.stream];
         if next < streams[resp.stream].queries.len() {
@@ -416,7 +467,15 @@ pub fn run_streams_service(
             in_flight += 1;
         }
     }
-    svc.shutdown();
+    let per_worker = svc.shutdown();
+    // Merge the worker shards in worker-index order: with one worker this
+    // reproduces the old driver-side recording order exactly, so the
+    // deterministic latency rows are unchanged.
+    let mut latency = LatencyHistogram::new();
+    for shard in &per_worker {
+        latency.merge(&shard.latency);
+    }
+    let contention = storage.stats().contention;
 
     let completed = streams
         .iter()
@@ -428,7 +487,12 @@ pub fn run_streams_service(
             })
         })
         .collect();
-    ServiceReport { completed, latency }
+    ServiceReport {
+        completed,
+        latency,
+        per_worker,
+        contention,
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +554,18 @@ mod tests {
         assert_eq!(report.latency.len(), 200);
         assert_eq!(registry.active_queries(), 0);
         assert!(report.latency.p50().expect("non-empty") > Duration::ZERO);
+        // The statistics shards cover every completion exactly once and
+        // arrive in worker order.
+        assert_eq!(report.per_worker.len(), 3);
+        let sharded: u64 = report.per_worker.iter().map(|w| w.completed).sum();
+        assert_eq!(sharded, 200);
+        for (i, shard) in report.per_worker.iter().enumerate() {
+            assert_eq!(shard.worker, i);
+            assert_eq!(shard.latency.len() as u64, shard.completed);
+        }
+        // The storage hot path was exercised, so the contention counters
+        // are live.
+        assert!(report.contention.lock_acquisitions > 0);
         // Grouped by stream, in stream order, two entries each.
         for (i, pair) in report.completed.chunks(2).enumerate() {
             assert!(pair.iter().all(|q| q.stream == format!("s{i}")));
@@ -668,5 +744,11 @@ mod tests {
         for (x, y) in a.completed.iter().zip(&b.completed) {
             assert_eq!(x.stats, y.stats);
         }
+        // With one worker the single statistics shard IS the report: the
+        // merge preserves sample order bit-exactly.
+        assert_eq!(a.per_worker.len(), 1);
+        assert_eq!(a.per_worker[0].latency, a.latency);
+        assert_eq!(a.per_worker, b.per_worker);
+        assert_eq!(a.contention, b.contention);
     }
 }
