@@ -24,7 +24,11 @@
 //!   adaptive policy's acceptance criterion). The query-service rows run a
 //!   fixed stream workload through the bounded-worker service at one
 //!   worker — fully deterministic — and gate the simulated p50/p99/p999
-//!   request latencies.
+//!   request latencies. The tier-migration rows run the phase-shift
+//!   workload with and without the background migration engine: the
+//!   migration-off hit ratio pins the engine's default behaviour
+//!   bit-for-bit, and migration-on must strictly beat it (the migration
+//!   acceptance criterion, gated baseline-free like the ARC one).
 //! * The wall-clock *speedup ratio* is machine-robust (both sides run on
 //!   the same machine in the same process). Gated.
 //! * Absolute wall-clock throughputs vary with the runner's hardware, so
@@ -48,6 +52,7 @@
 //! `--write-baseline` snapshots *every* row as measured here (first-time
 //! setup, or after an intentional wall-clock performance change).
 
+use hstorage::experiments::tier_migration;
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
     contended_hot_reads, drive, fresh_cache, mixed_policy_run, random_read, scan_read,
@@ -259,6 +264,34 @@ fn main() {
             gated: true,
             deterministic: true,
             lower_is_better: true,
+        });
+    }
+    // Tier migration under the phase-shifting workload: simulated, fully
+    // deterministic. The migration-off hit ratio pins the PR 7 baseline
+    // behaviour bit-for-bit (migration defaults to off, so any drift here
+    // is a foreground-path change); the migration-on rows pin the
+    // migration engine's outcome at the shipped knob values.
+    let tier = tier_migration::run();
+    for (name, value) in [
+        (
+            "sim: tier-migration phase-shift hit ratio, migration off",
+            tier.off.hit_ratio,
+        ),
+        (
+            "sim: tier-migration phase-shift hit ratio, migration on",
+            tier.on.hit_ratio,
+        ),
+        (
+            "sim: tier-migration phase-shift hit-ratio gain, on/off (x)",
+            tier.hit_gain(),
+        ),
+    ] {
+        measurements.push(Measurement {
+            metric: name.into(),
+            value,
+            gated: true,
+            deterministic: true,
+            lower_is_better: false,
         });
     }
     // The lock-light hot path: deterministic single-threaded equivalence
@@ -484,6 +517,17 @@ fn main() {
         failures.push(format!(
             "ARC mixed-workload hit ratio ({arc_hits:.4}) fell below engine-LRU's \
              ({lru_hits:.4})"
+        ));
+    }
+    // Acceptance criterion of the migration engine, also baseline-free:
+    // enabling migration must strictly raise the hit ratio on the
+    // phase-shift workload (the whole point of following working-set
+    // shifts that selective eviction alone cannot).
+    if tier.on.hit_ratio <= tier.off.hit_ratio {
+        failures.push(format!(
+            "tier migration did not improve the phase-shift hit ratio \
+             ({:.4} on vs {:.4} off)",
+            tier.on.hit_ratio, tier.off.hit_ratio
         ));
     }
     for (m, row) in measurements.iter().zip(&report) {

@@ -2,6 +2,7 @@
 
 use crate::hybrid::HybridCache;
 use crate::lru_cache::LruCache;
+use crate::migration::MigrationConfig;
 use crate::passthrough::{HddOnly, SsdOnly};
 use crate::policy::CachePolicyKind;
 use crate::system::StorageSystem;
@@ -87,6 +88,11 @@ pub struct StorageConfig {
     /// submission) behind a classical baseline algorithm. Ignored by the
     /// passthrough and standalone-LRU kinds.
     pub cache_policy: CachePolicyKind,
+    /// Online tier-migration knobs for the hStorage-DB kind (see
+    /// [`crate::migration`]). The default is disabled, which leaves the
+    /// built engine bit-identical to one without a migration engine.
+    /// Ignored by the passthrough and standalone-LRU kinds.
+    pub migration: MigrationConfig,
 }
 
 impl StorageConfig {
@@ -99,6 +105,7 @@ impl StorageConfig {
             shards: 1,
             queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
+            migration: MigrationConfig::default(),
         }
     }
 
@@ -135,6 +142,17 @@ impl StorageConfig {
         self
     }
 
+    /// Overrides the tier-migration knobs of the hStorage-DB cache engine.
+    /// Panics on out-of-range knobs so a misconfiguration fails at
+    /// description time, not at build time.
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        migration
+            .validate()
+            .expect("invalid migration configuration");
+        self.migration = migration;
+        self
+    }
+
     /// Builds the storage system.
     pub fn build(&self) -> Box<dyn StorageSystem> {
         let clock = SimClock::new();
@@ -168,7 +186,8 @@ impl StorageConfig {
                     hdd(),
                     clock.clone(),
                 )
-                .with_cache_policy(self.cache_policy),
+                .with_cache_policy(self.cache_policy)
+                .with_migration(self.migration),
             ),
         }
     }

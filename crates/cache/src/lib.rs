@@ -36,6 +36,7 @@ pub mod hybrid;
 pub mod lru;
 pub mod lru_cache;
 pub mod metadata;
+pub mod migration;
 pub mod passthrough;
 pub mod policy;
 pub mod priority_group;
@@ -47,6 +48,7 @@ pub use config::{StorageConfig, StorageConfigKind};
 pub use engine::CacheEngine;
 pub use hybrid::HybridCache;
 pub use lru_cache::LruCache;
+pub use migration::{HeatTracker, MigrationConfig, MigrationStats};
 pub use passthrough::{HddOnly, SsdOnly};
 pub use policy::{
     CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason, StreamPolicyKind,

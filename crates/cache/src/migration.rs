@@ -1,0 +1,575 @@
+//! Online tier migration: heat tracking and background promote/demote.
+//!
+//! hStorage-DB assigns a block's tier once, at admission, from the QoS
+//! policy the DBMS attached to the request — and only TRIM ever moves data
+//! afterwards. The premise of the SSD/HDD cost asymmetry, however, is that
+//! placement should track *observed* access value, not a one-shot guess.
+//! This module adds the missing feedback loop:
+//!
+//! * a per-shard [`HeatTracker`] — decayed access counters fed from the
+//!   engine's existing hit/miss events (plus an atomic side-counter for
+//!   hits served by the lock-light optimistic read path), cheap enough to
+//!   ride the hot path;
+//! * a background **migration round**, run by
+//!   [`StorageSystem::migrate_idle`](crate::StorageSystem::migrate_idle)
+//!   when enough *idle* simulated device time has accrued since the last
+//!   round: cold SSD-resident blocks are demoted to the HDD and hot
+//!   HDD-resident blocks are promoted into the freed SSD slots;
+//! * **lazy migration-on-access** for blocks already queued: a hit on a
+//!   demotion candidate cancels the demotion (the block just proved it is
+//!   still hot), and an admitted miss on a promotion candidate *is* the
+//!   promotion (the normal allocation path already moved the block).
+//!
+//! Migration stays policy-correct by construction: demotions flow through
+//! the policy layer as [`RemoveReason::Evict`](crate::RemoveReason::Evict)
+//! — so ghost-keeping policies (2Q, ARC) learn from them exactly as from
+//! their own evictions — and promotions re-enter via the normal admission
+//! path (`admits` → `on_insert`) using the request shape last observed for
+//! the block, so every [`CachePolicy`](crate::CachePolicy) keeps a
+//! consistent view of the resident set.
+//!
+//! The knob set lives in [`MigrationConfig`]. The default is **off**,
+//! which is bit-identical to the engine without this module: no heat is
+//! tracked, no rounds run, and the equivalence suites pin that nothing
+//! else changed.
+//!
+//! # Worked example
+//!
+//! A phase-shifting workload: a high-priority set fills the cache, then
+//! the workload moves to a lower-priority set that selective allocation
+//! refuses to admit over the old residents. With migration enabled, idle
+//! rounds demote the now-cold residents and promote the observed-hot
+//! blocks, and the counters record the turnover:
+//!
+//! ```
+//! use hstorage_cache::{CacheEngine, MigrationConfig, StorageSystem};
+//! use hstorage_storage::{
+//!     BlockRange, ClassifiedRequest, IoRequest, PolicyConfig, QosPolicy, RequestClass,
+//! };
+//! use std::time::Duration;
+//!
+//! let cache = CacheEngine::new(PolicyConfig::paper_default(), 32).with_migration(
+//!     MigrationConfig::on()
+//!         .with_half_life_rounds(4)
+//!         .with_idle_threshold(Duration::from_micros(100))
+//!         .with_round_budget(16),
+//! );
+//! let read = |lbn: u64, prio: u8| {
+//!     ClassifiedRequest::new(
+//!         IoRequest::read(BlockRange::new(lbn, 1), false),
+//!         RequestClass::Random,
+//!         QosPolicy::priority(prio),
+//!     )
+//! };
+//! // Phase 1: a priority-2 set fills the cache.
+//! for pass in 0..4 {
+//!     for lbn in 0..32u64 {
+//!         cache.submit(read(lbn, 2));
+//!     }
+//! }
+//! // Phase 2: the workload shifts to a priority-3 set. Selective
+//! // allocation refuses to displace the higher-priority residents, so
+//! // without migration these blocks would bypass forever; idle rounds
+//! // between passes promote them by observed heat instead.
+//! for pass in 0..12 {
+//!     for lbn in 1_000..1_032u64 {
+//!         cache.submit(read(lbn, 3));
+//!     }
+//!     cache.migrate_idle();
+//! }
+//! let stats = cache.migration_stats();
+//! assert!(stats.rounds > 0, "idle rounds must have run");
+//! assert!(stats.promoted > 0, "the hot phase-2 set must be promoted");
+//! assert!(stats.demoted > 0, "the cold phase-1 set must make room");
+//! assert!(cache.contains_block(hstorage_storage::BlockAddr(1_000)));
+//! ```
+
+use crate::policy::PolicyRequest;
+use hstorage_storage::BlockAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Knob set of the online tier-migration engine. The default is **off**:
+/// a disabled configuration tracks no heat and runs no rounds, leaving the
+/// engine bit-identical to one built without migration.
+///
+/// See the [module docs](self) for a worked end-to-end example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Master switch. Off (the default) means no heat tracking, no
+    /// rounds, and zero behavioural difference to the pre-migration
+    /// engine.
+    pub enabled: bool,
+    /// Every how many migration rounds the heat counters are halved.
+    /// Smaller values forget faster (placement chases the current phase);
+    /// larger values favour long-lived heat. Must be at least 1.
+    pub half_life_rounds: u32,
+    /// How much *new* idle simulated device time (summed over both
+    /// devices) must have accrued since the last executed round before
+    /// the next round may run; until then
+    /// [`migrate_idle`](crate::StorageSystem::migrate_idle) is counted as
+    /// a skipped round. Zero runs a round on every call — useful in
+    /// tests, too eager for production.
+    pub idle_threshold: Duration,
+    /// Maximum number of blocks one round may move (promotions plus
+    /// demotions, over all shards of the engine combined the budget is
+    /// per-shard). Candidates beyond the budget are queued for the lazy
+    /// window until the next round. Must be at least 1.
+    pub round_budget: usize,
+}
+
+impl MigrationConfig {
+    /// The disabled configuration (same as `Default`).
+    pub fn off() -> Self {
+        MigrationConfig::default()
+    }
+
+    /// An enabled configuration with the default knob values
+    /// (half-life 4 rounds, 500 µs idle threshold, 64-block budget).
+    pub fn on() -> Self {
+        MigrationConfig {
+            enabled: true,
+            ..MigrationConfig::default()
+        }
+    }
+
+    /// Overrides the heat half-life. Panics on 0, like the other
+    /// description-time knob builders.
+    pub fn with_half_life_rounds(mut self, rounds: u32) -> Self {
+        self.half_life_rounds = rounds;
+        self.validate().expect("invalid migration configuration");
+        self
+    }
+
+    /// Overrides the idle-time threshold between rounds.
+    pub fn with_idle_threshold(mut self, threshold: Duration) -> Self {
+        self.idle_threshold = threshold;
+        self
+    }
+
+    /// Overrides the per-round migration budget. Panics on 0.
+    pub fn with_round_budget(mut self, budget: usize) -> Self {
+        self.round_budget = budget;
+        self.validate().expect("invalid migration configuration");
+        self
+    }
+
+    /// Checks the knob ranges (`half_life_rounds >= 1`,
+    /// `round_budget >= 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.half_life_rounds == 0 {
+            return Err("migration half_life_rounds must be at least 1".into());
+        }
+        if self.round_budget == 0 {
+            return Err("migration round_budget must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            enabled: false,
+            half_life_rounds: 4,
+            idle_threshold: Duration::from_micros(500),
+            round_budget: 64,
+        }
+    }
+}
+
+/// Counters of the migration engine, separate from
+/// [`CacheStats`](crate::CacheStats) on purpose: migration activity is
+/// background work, and keeping it out of the per-action cache statistics
+/// keeps those bit-comparable between migration-on and migration-off runs
+/// of the same foreground traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Rounds that actually ran.
+    pub rounds: u64,
+    /// [`migrate_idle`](crate::StorageSystem::migrate_idle) calls that ran
+    /// no round (not enough new idle time, or another caller claimed the
+    /// idle window).
+    pub skipped_rounds: u64,
+    /// Blocks moved HDD → SSD by a round.
+    pub promoted: u64,
+    /// Blocks moved SSD → HDD by a round.
+    pub demoted: u64,
+    /// Queued promotion candidates that were admitted by a foreground
+    /// access before the next round got to them.
+    pub lazy_promotions: u64,
+    /// Queued demotion candidates rescued by a foreground hit (the block
+    /// proved it is still hot, so the demotion was dropped).
+    pub cancelled_demotions: u64,
+    /// Queued candidates (either direction) invalidated by a TRIM: the
+    /// block's lifetime ended, so the queue entry — and all heat history —
+    /// was discarded instead of resurrecting dead data.
+    pub trim_cancellations: u64,
+}
+
+impl MigrationStats {
+    /// Total blocks moved by background rounds (promotions + demotions).
+    pub fn migrated(&self) -> u64 {
+        self.promoted + self.demoted
+    }
+}
+
+/// Decayed per-block access counters: the "observed value" half of the
+/// migration decision.
+///
+/// Every foreground access adds one unit of heat; every
+/// [`MigrationConfig::half_life_rounds`] rounds the tracker decays,
+/// halving all counters (dropping the ones that reach zero). Two
+/// invariants make the tracker safe to reason about:
+///
+/// * **boundedness** — a block's heat never exceeds the raw number of
+///   accesses recorded for it, no matter how record/decay interleave
+///   (decay only ever shrinks counters);
+/// * **order-independent merge** — [`HeatTracker::merge`] is commutative
+///   and associative, so folding per-shard trackers into a global view
+///   gives the same answer in any order.
+///
+/// Both are pinned by property tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeatTracker {
+    counts: HashMap<BlockAddr, u64>,
+}
+
+impl HeatTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        HeatTracker::default()
+    }
+
+    /// Records one access to `lbn`.
+    pub fn record(&mut self, lbn: BlockAddr) {
+        self.record_n(lbn, 1);
+    }
+
+    /// Records `n` accesses to `lbn` at once (used to fold the optimistic
+    /// fast path's atomic hit counter in at round time).
+    pub fn record_n(&mut self, lbn: BlockAddr, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = self.counts.entry(lbn).or_insert(0);
+        *slot = slot.saturating_add(n);
+    }
+
+    /// The current heat of `lbn` (0 when untracked).
+    pub fn heat(&self, lbn: BlockAddr) -> u64 {
+        self.counts.get(&lbn).copied().unwrap_or(0)
+    }
+
+    /// Halves every counter, dropping blocks whose heat reaches zero.
+    pub fn decay(&mut self) {
+        self.counts.retain(|_, h| {
+            *h >>= 1;
+            *h > 0
+        });
+    }
+
+    /// Adds every counter of `other` into this tracker. Commutative and
+    /// associative (up to counter saturation), so per-shard trackers can
+    /// be folded in any order.
+    pub fn merge(&mut self, other: &HeatTracker) {
+        for (&lbn, &h) in &other.counts {
+            self.record_n(lbn, h);
+        }
+    }
+
+    /// Forgets `lbn` entirely (its lifetime ended — TRIM).
+    pub fn forget(&mut self, lbn: BlockAddr) {
+        self.counts.remove(&lbn);
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates all `(lbn, heat)` pairs in unspecified order. Round logic
+    /// sorts whatever it derives from this, so the map's iteration order
+    /// never reaches an observable result.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockAddr, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Caps the tracker at the `cap` hottest blocks, breaking heat ties
+    /// by lowest address (deterministic regardless of map order).
+    pub fn retain_hottest(&mut self, cap: usize) {
+        if self.counts.len() <= cap {
+            return;
+        }
+        let mut entries: Vec<(u64, BlockAddr)> =
+            self.counts.iter().map(|(&l, &h)| (h, l)).collect();
+        // Hottest first; ties broken by the lower address surviving.
+        entries.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, lbn) in entries.drain(cap..) {
+            self.counts.remove(&lbn);
+        }
+    }
+}
+
+/// Lock-free per-shard migration counters, mirroring the engine's
+/// atomic-statistics split: foreground hooks and background rounds bump
+/// them under the stripe mutex (or not — the fold is a plain atomic add),
+/// while [`migration_stats`](crate::StorageSystem::migration_stats)
+/// aggregates without taking any shard lock.
+#[derive(Debug, Default)]
+pub(crate) struct MigrationCounters {
+    pub(crate) promoted: AtomicU64,
+    pub(crate) demoted: AtomicU64,
+    pub(crate) lazy_promotions: AtomicU64,
+    pub(crate) cancelled_demotions: AtomicU64,
+    pub(crate) trim_cancellations: AtomicU64,
+}
+
+impl MigrationCounters {
+    /// Adds this shard's counters into an aggregate snapshot.
+    pub(crate) fn add_into(&self, stats: &mut MigrationStats) {
+        stats.promoted += self.promoted.load(Ordering::Relaxed);
+        stats.demoted += self.demoted.load(Ordering::Relaxed);
+        stats.lazy_promotions += self.lazy_promotions.load(Ordering::Relaxed);
+        stats.cancelled_demotions += self.cancelled_demotions.load(Ordering::Relaxed);
+        stats.trim_cancellations += self.trim_cancellations.load(Ordering::Relaxed);
+    }
+}
+
+/// Per-shard migration state, owned by the shard's stripe mutex alongside
+/// the policy and the allocator (it is decision state: every mutation
+/// happens under the same lock as the policy calls it feeds).
+pub(crate) struct ShardMigration {
+    pub(crate) config: MigrationConfig,
+    /// Decayed access counters over every block the shard has seen —
+    /// resident or not — capped at [`Self::track_cap`] hottest entries.
+    pub(crate) heat: HeatTracker,
+    /// The request shape last observed per tracked block. Promotions
+    /// synthesize their admission request from this (direction forced to
+    /// `Read`: a promotion is a background fetch).
+    pub(crate) shapes: HashMap<BlockAddr, PolicyRequest>,
+    /// Absent blocks queued for promotion by the last round (candidates
+    /// beyond the round budget). A foreground admitted miss resolves one
+    /// lazily; a TRIM cancels it.
+    pub(crate) pending_promote: HashSet<BlockAddr>,
+    /// Resident blocks queued for demotion by the last round. A
+    /// foreground hit cancels one (the block is still hot); a TRIM
+    /// removes it together with the block.
+    pub(crate) pending_demote: HashSet<BlockAddr>,
+    /// Rounds run on this shard (drives the decay cadence).
+    pub(crate) rounds: u64,
+    /// Maximum heat entries kept (4× the shard's slot capacity, at least
+    /// 64): enough to see beyond the resident set without letting a scan
+    /// grow the tracker without bound.
+    pub(crate) track_cap: usize,
+}
+
+impl ShardMigration {
+    /// Creates the migration state for a shard with `capacity` slots.
+    pub(crate) fn new(config: MigrationConfig, capacity: u64) -> Self {
+        ShardMigration {
+            config,
+            heat: HeatTracker::new(),
+            shapes: HashMap::new(),
+            pending_promote: HashSet::new(),
+            pending_demote: HashSet::new(),
+            rounds: 0,
+            track_cap: capacity.saturating_mul(4).clamp(64, 1 << 20) as usize,
+        }
+    }
+
+    /// Foreground access to `lbn`: one unit of heat, and the shape is
+    /// remembered for a later promotion decision.
+    pub(crate) fn note_access(&mut self, lbn: BlockAddr, req: &PolicyRequest) {
+        self.heat.record(lbn);
+        self.shapes.insert(lbn, *req);
+    }
+
+    /// A hit on `lbn`: if the block was queued for demotion, the queue
+    /// entry is dropped — the hit just proved the block is still hot.
+    /// Returns whether a demotion was cancelled.
+    pub(crate) fn note_hit(&mut self, lbn: BlockAddr) -> bool {
+        self.pending_demote.remove(&lbn)
+    }
+
+    /// `lbn` was admitted and inserted by the foreground path: if it was
+    /// queued for promotion, the normal allocation already performed the
+    /// migration. Returns whether a queued promotion resolved lazily.
+    pub(crate) fn note_insert(&mut self, lbn: BlockAddr) -> bool {
+        self.pending_promote.remove(&lbn)
+    }
+
+    /// A TRIM invalidated `lbn`: its lifetime ended, so heat, shape and
+    /// any queued migration are discarded — an in-flight candidate must
+    /// never resurrect dead data. Returns how many queue entries were
+    /// cancelled (0, 1 or 2).
+    pub(crate) fn note_trim(&mut self, lbn: BlockAddr) -> u64 {
+        self.heat.forget(lbn);
+        self.shapes.remove(&lbn);
+        u64::from(self.pending_promote.remove(&lbn)) + u64::from(self.pending_demote.remove(&lbn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_is_off_and_valid() {
+        let config = MigrationConfig::default();
+        assert!(!config.enabled);
+        assert!(config.validate().is_ok());
+        assert_eq!(config, MigrationConfig::off());
+        assert!(MigrationConfig::on().enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid migration configuration")]
+    fn zero_half_life_is_rejected() {
+        let _ = MigrationConfig::on().with_half_life_rounds(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid migration configuration")]
+    fn zero_budget_is_rejected() {
+        let _ = MigrationConfig::on().with_round_budget(0);
+    }
+
+    #[test]
+    fn heat_records_decays_and_forgets() {
+        let mut t = HeatTracker::new();
+        t.record(BlockAddr(1));
+        t.record(BlockAddr(1));
+        t.record(BlockAddr(2));
+        assert_eq!(t.heat(BlockAddr(1)), 2);
+        assert_eq!(t.heat(BlockAddr(2)), 1);
+        t.decay();
+        assert_eq!(t.heat(BlockAddr(1)), 1);
+        // Heat 1 halves to 0 and the entry is dropped.
+        assert_eq!(t.heat(BlockAddr(2)), 0);
+        assert_eq!(t.len(), 1);
+        t.forget(BlockAddr(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn retain_hottest_is_deterministic_on_ties() {
+        let mut t = HeatTracker::new();
+        for lbn in 0..10u64 {
+            t.record(BlockAddr(lbn));
+        }
+        t.record(BlockAddr(7));
+        t.retain_hottest(3);
+        assert_eq!(t.len(), 3);
+        // Block 7 (heat 2) survives; the tie among heat-1 blocks is broken
+        // by lowest address.
+        assert_eq!(t.heat(BlockAddr(7)), 2);
+        assert_eq!(t.heat(BlockAddr(0)), 1);
+        assert_eq!(t.heat(BlockAddr(1)), 1);
+        assert_eq!(t.heat(BlockAddr(2)), 0);
+    }
+
+    #[test]
+    fn trim_cancels_queued_candidates() {
+        let mut m = ShardMigration::new(MigrationConfig::on(), 16);
+        let req = crate::policy::PolicyRequest {
+            direction: hstorage_storage::Direction::Read,
+            class: hstorage_storage::RequestClass::Random,
+            qos: hstorage_storage::QosPolicy::priority(2),
+            prio: hstorage_storage::CachePriority(2),
+        };
+        m.note_access(BlockAddr(9), &req);
+        m.pending_promote.insert(BlockAddr(9));
+        assert_eq!(m.note_trim(BlockAddr(9)), 1);
+        assert_eq!(m.heat.heat(BlockAddr(9)), 0);
+        assert!(!m.pending_promote.contains(&BlockAddr(9)));
+        // A second trim of the same address cancels nothing further.
+        assert_eq!(m.note_trim(BlockAddr(9)), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Decay can only shrink: however records and decays interleave, a
+        /// block's heat never exceeds the raw count of accesses recorded
+        /// for it.
+        #[test]
+        fn decayed_heat_never_exceeds_raw_count(
+            ops in proptest::collection::vec((0u64..16, 0u8..8), 1..200),
+        ) {
+            let mut t = HeatTracker::new();
+            let mut raw: HashMap<BlockAddr, u64> = HashMap::new();
+            for (lbn, kind) in ops {
+                if kind == 0 {
+                    t.decay();
+                } else {
+                    let lbn = BlockAddr(lbn);
+                    t.record(lbn);
+                    *raw.entry(lbn).or_insert(0) += 1;
+                }
+            }
+            for (lbn, &count) in &raw {
+                prop_assert!(
+                    t.heat(*lbn) <= count,
+                    "heat {} exceeds raw count {count} for {lbn:?}",
+                    t.heat(*lbn)
+                );
+            }
+        }
+
+        /// Merging per-shard trackers is order-independent: any
+        /// permutation of merges yields the same aggregate.
+        #[test]
+        fn merge_is_order_independent(
+            a in proptest::collection::vec((0u64..32, 1u64..50), 0..20),
+            b in proptest::collection::vec((0u64..32, 1u64..50), 0..20),
+            c in proptest::collection::vec((0u64..32, 1u64..50), 0..20),
+        ) {
+            let tracker = |entries: &[(u64, u64)]| {
+                let mut t = HeatTracker::new();
+                for &(lbn, n) in entries {
+                    t.record_n(BlockAddr(lbn), n);
+                }
+                t
+            };
+            let (ta, tb, tc) = (tracker(&a), tracker(&b), tracker(&c));
+            let fold = |order: [&HeatTracker; 3]| {
+                let mut out = HeatTracker::new();
+                for t in order {
+                    out.merge(t);
+                }
+                out
+            };
+            let abc = fold([&ta, &tb, &tc]);
+            prop_assert_eq!(fold([&tc, &tb, &ta]).heat_map(), abc.heat_map());
+            prop_assert_eq!(fold([&tb, &ta, &tc]).heat_map(), abc.heat_map());
+            // Associativity: (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c).
+            let mut ab = ta.clone();
+            ab.merge(&tb);
+            ab.merge(&tc);
+            let mut bc = tb.clone();
+            bc.merge(&tc);
+            let mut a_bc = ta.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(ab.heat_map(), a_bc.heat_map());
+        }
+    }
+
+    impl HeatTracker {
+        /// Test-only canonical view (sorted) for order-independent
+        /// comparison.
+        fn heat_map(&self) -> Vec<(BlockAddr, u64)> {
+            let mut v: Vec<(BlockAddr, u64)> = self.counts.iter().map(|(&l, &h)| (l, h)).collect();
+            v.sort_unstable();
+            v
+        }
+    }
+}

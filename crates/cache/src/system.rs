@@ -7,6 +7,7 @@
 //! internally (lock striping in the hybrid cache, a single mutex in the
 //! baselines); callers never need an exclusive borrow.
 
+use crate::migration::MigrationStats;
 use crate::stats::CacheStats;
 use hstorage_storage::{ClassifiedRequest, TrimCommand};
 use std::time::Duration;
@@ -58,5 +59,20 @@ pub trait StorageSystem: Send + Sync {
     /// single-device configurations).
     fn resident_blocks(&self) -> u64 {
         0
+    }
+
+    /// Gives the storage system an opportunity to run background tier
+    /// migration (see [`crate::migration`]), if enough idle device time
+    /// has accrued since the last round. Drivers call this between units
+    /// of foreground work; the default — every configuration without a
+    /// migration engine — does nothing.
+    fn migrate_idle(&self) -> MigrationStats {
+        MigrationStats::default()
+    }
+
+    /// Cumulative tier-migration counters (all zero for configurations
+    /// without a migration engine).
+    fn migration_stats(&self) -> MigrationStats {
+        MigrationStats::default()
     }
 }

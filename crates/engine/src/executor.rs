@@ -174,6 +174,12 @@ impl QueryExecutor {
         self.flush_pending(storage);
         self.registry.unregister_query(plan, ticket);
         finalize(&mut stats, io_start, storage);
+        // Query boundaries are the executor's natural idle points: offer
+        // the storage system a tier-migration window (a no-op unless a
+        // migration engine is configured). Placed after `finalize` so
+        // background device traffic is never charged to this query's I/O
+        // time.
+        storage.migrate_idle();
         stats
     }
 

@@ -1,7 +1,7 @@
 //! System configuration: which storage configuration to run, at what scale,
 //! with which cache / buffer-pool sizes.
 
-use hstorage_cache::{CachePolicyKind, StorageConfig, StorageConfigKind};
+use hstorage_cache::{CachePolicyKind, MigrationConfig, StorageConfig, StorageConfigKind};
 use hstorage_engine::ExecutorConfig;
 use hstorage_storage::PolicyConfig;
 use hstorage_tpch::TpchScale;
@@ -39,6 +39,10 @@ pub struct SystemConfig {
     /// policy-comparison and knob-ablation experiments isolate the value
     /// of semantic information. Ignored by the non-engine storage kinds.
     pub cache_policy: CachePolicyKind,
+    /// Online tier-migration knobs of the hStorage-DB cache engine (see
+    /// [`hstorage_cache::migration`]). Disabled by default; ignored by
+    /// the non-engine storage kinds.
+    pub migration: MigrationConfig,
 }
 
 impl SystemConfig {
@@ -63,6 +67,7 @@ impl SystemConfig {
             storage_shards: 1,
             storage_queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
+            migration: MigrationConfig::default(),
         }
     }
 
@@ -85,6 +90,7 @@ impl SystemConfig {
             storage_shards: 1,
             storage_queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
+            migration: MigrationConfig::default(),
         }
     }
 
@@ -132,6 +138,17 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the tier-migration knobs of the hStorage-DB cache
+    /// engine. Panics on out-of-range knobs, like
+    /// [`StorageConfig::with_migration`].
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        migration
+            .validate()
+            .expect("invalid migration configuration");
+        self.migration = migration;
+        self
+    }
+
     /// The storage configuration descriptor implied by this system config.
     pub fn storage_config(&self) -> StorageConfig {
         StorageConfig::new(self.storage_kind, self.cache_blocks)
@@ -139,6 +156,7 @@ impl SystemConfig {
             .with_shards(self.storage_shards)
             .with_queue_depth(self.storage_queue_depth)
             .with_cache_policy(self.cache_policy)
+            .with_migration(self.migration)
     }
 }
 

@@ -12,10 +12,12 @@
 //! | [`ablation`] | Design-choice sweeps not in the paper (write-buffer size, priority-range width, TRIM on/off) |
 //! | [`policy_comparison`] | One cache engine under every selectable replacement policy (semantic priority vs LRU / CFLRU / 2Q / ARC / per-stream) on a TPC-H mix |
 //! | [`policy_ablation`] | Knob sweeps for the tunable policies (CFLRU clean-first window, 2Q `Kin`/`Kout`) with self-tuning ARC as the reference |
+//! | [`tier_migration`] | Online tier migration under a phase-shifting workload (hit ratio and per-device busy time, with vs without migration) |
 //!
 //! Every driver takes the TPC-H scale to run at and returns a plain data
 //! structure with a `Display` implementation that prints the same rows the
-//! paper reports.
+//! paper reports. (The [`tier_migration`] driver is the exception: its
+//! workload is a fixed synthetic phase shift, so it takes no scale.)
 
 pub mod ablation;
 pub mod fig11;
@@ -26,6 +28,7 @@ pub mod fig9;
 pub mod policy_ablation;
 pub mod policy_comparison;
 pub mod table9;
+pub mod tier_migration;
 
 use crate::config::SystemConfig;
 use crate::system::TpchSystem;

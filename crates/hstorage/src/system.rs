@@ -167,6 +167,20 @@ impl TpchSystem {
     pub fn cached_blocks(&self) -> u64 {
         self.storage.resident_blocks()
     }
+
+    /// Offers the storage system one background tier-migration window
+    /// (a no-op unless [`SystemConfig::migration`] enables migration) and
+    /// returns its cumulative migration counters. The executor already
+    /// pulses at every query boundary; this is for drivers that want
+    /// extra windows between queries.
+    pub fn migrate_idle(&self) -> hstorage_cache::MigrationStats {
+        self.storage.migrate_idle()
+    }
+
+    /// The storage system's cumulative tier-migration counters.
+    pub fn migration_stats(&self) -> hstorage_cache::MigrationStats {
+        self.storage.migration_stats()
+    }
 }
 
 #[cfg(test)]

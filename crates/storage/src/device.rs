@@ -59,6 +59,15 @@ pub trait StorageDevice: Send + Sync {
 
     /// Clears statistics (does not reset mechanical state).
     fn reset_stats(&self);
+
+    /// Simulated time this device has spent idle: the shared clock's
+    /// current reading minus the device's accumulated busy time. In the
+    /// serialized simulation the clock only advances while *some* device
+    /// serves, so a device's idle time grows exactly while another device
+    /// is busy — the window background work (tier migration) steals.
+    /// Note that [`StorageDevice::reset_stats`] clears busy time but not
+    /// the clock, so idle time jumps forward across a reset.
+    fn idle_time(&self) -> Duration;
 }
 
 /// Coalesces a queue of requests into merged transfers and serves each via

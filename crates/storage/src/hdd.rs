@@ -164,6 +164,12 @@ impl StorageDevice for HddDevice {
     fn reset_stats(&self) {
         self.state.lock().stats = DeviceStats::new();
     }
+
+    fn idle_time(&self) -> Duration {
+        self.clock
+            .now()
+            .saturating_sub(self.state.lock().stats.busy_time)
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,10 @@ impl StorageDevice for SsdDevice {
     fn reset_stats(&self) {
         *self.stats.lock() = DeviceStats::new();
     }
+
+    fn idle_time(&self) -> Duration {
+        self.clock.now().saturating_sub(self.stats.lock().busy_time)
+    }
 }
 
 #[cfg(test)]

@@ -98,7 +98,11 @@ fn deterministic_trace() -> Vec<ClassifiedRequest> {
 /// semantic default. The CI policy-matrix job focuses this list on one
 /// policy via the `HSTORAGE_POLICY` env var (see `common::matrix_kinds`).
 fn configurations() -> Vec<(String, StorageConfig)> {
-    let base = |kind| StorageConfig::new(kind, 4_096);
+    // Attached to every config: the non-engine kinds ignore it, and the
+    // engine kinds must stay batch-vs-sequential equivalent with heat
+    // tracking riding along (the CI migration leg sets it to `on`).
+    let migration = common::matrix_migration();
+    let base = move |kind| StorageConfig::new(kind, 4_096).with_migration(migration);
     let engine = |policy| base(StorageConfigKind::HStorageDb).with_cache_policy(policy);
     let mut configs = vec![
         ("hdd-only".to_string(), base(StorageConfigKind::HddOnly)),

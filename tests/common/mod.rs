@@ -1,6 +1,6 @@
 //! Helpers shared by the integration suites.
 
-use hstorage_cache::CachePolicyKind;
+use hstorage_cache::{CachePolicyKind, MigrationConfig};
 
 /// Env var the CI policy matrix sets to focus the equivalence suites on a
 /// single replacement policy (one of [`CachePolicyKind::label`]'s values:
@@ -28,5 +28,27 @@ pub fn matrix_kinds() -> Vec<CachePolicyKind> {
             vec![kind]
         }
         Err(_) => CachePolicyKind::all().to_vec(),
+    }
+}
+
+/// Env var the CI migration matrix sets to run the equivalence suites
+/// with the tier-migration engine attached (`on`) or detached (`off`,
+/// the default). With migration on but no `migrate_idle` pulses, heat
+/// tracking rides every submit yet must not perturb a single cache
+/// decision — so the suites' equivalence assertions double as the proof
+/// that the tracker is observationally free.
+pub const MIGRATION_ENV: &str = "HSTORAGE_MIGRATION";
+
+/// The migration configuration the equivalence suites attach to every
+/// cache engine they build: [`MigrationConfig::on`] when [`MIGRATION_ENV`]
+/// is `on` (the CI migration leg), disabled otherwise. Any other value
+/// panics so a matrix typo fails the job instead of silently testing the
+/// default.
+pub fn matrix_migration() -> MigrationConfig {
+    match std::env::var(MIGRATION_ENV) {
+        Ok(v) if v == "on" => MigrationConfig::on(),
+        Ok(v) if v == "off" => MigrationConfig::off(),
+        Ok(v) => panic!("{MIGRATION_ENV}={v:?} must be \"on\" or \"off\""),
+        Err(_) => MigrationConfig::off(),
     }
 }

@@ -151,11 +151,14 @@ fn sharded_and_unsharded_engines_agree_under_every_policy() {
     // observationally invisible no matter which replacement policy drives
     // the engine.
     let events = deterministic_trace();
+    let migration = common::matrix_migration();
     for kind in common::matrix_kinds() {
-        let unsharded =
-            HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
+        let unsharded = HybridCache::new(PolicyConfig::paper_default(), 4_096)
+            .with_cache_policy(kind)
+            .with_migration(migration);
         let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
-            .with_cache_policy(kind);
+            .with_cache_policy(kind)
+            .with_migration(migration);
         let s1 = replay_on(&unsharded, &events);
         let s8 = replay_on(&sharded, &events);
         assert_eq!(s1, s8, "{kind}");
@@ -174,7 +177,8 @@ fn concurrent_threads_are_fully_accounted_under_every_policy() {
     // every access exactly once through the lock-striped engine.
     for kind in common::matrix_kinds() {
         let cache = HybridCache::with_shard_count(PolicyConfig::paper_default(), 8_192, 8)
-            .with_cache_policy(kind);
+            .with_cache_policy(kind)
+            .with_migration(common::matrix_migration());
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let cache = &cache;
@@ -261,10 +265,12 @@ proptest! {
         requests in prop::collection::vec(arb_bounded_request(), 1..100),
     ) {
         for kind in common::matrix_kinds() {
-            let unsharded =
-                HybridCache::new(PolicyConfig::paper_default(), 4_096).with_cache_policy(kind);
+            let unsharded = HybridCache::new(PolicyConfig::paper_default(), 4_096)
+                .with_cache_policy(kind)
+                .with_migration(common::matrix_migration());
             let sharded = HybridCache::with_shard_count(PolicyConfig::paper_default(), 4_096, 8)
-                .with_cache_policy(kind);
+                .with_cache_policy(kind)
+                .with_migration(common::matrix_migration());
             for req in &requests {
                 unsharded.submit(*req);
                 sharded.submit(*req);

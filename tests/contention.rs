@@ -243,6 +243,7 @@ proptest! {
             let build = || {
                 HybridCache::with_shard_count(PolicyConfig::paper_default(), 256, 8)
                     .with_cache_policy(kind)
+                    .with_migration(common::matrix_migration())
             };
             let optimistic = build();
             let locked = build().with_optimistic_reads(false);
