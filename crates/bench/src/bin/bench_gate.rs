@@ -42,23 +42,31 @@
 //!
 //! Usage:
 //! `bench_gate [--baseline <path>] [--report <path>]
-//! [--write-baseline | --update-baseline]`
+//! [--write-baseline | --update-baseline | --check-baseline]`
 //!
 //! `--update-baseline` regenerates the baseline **deterministically**:
 //! `sim:` rows take the freshly measured (machine-independent) values and
 //! machine-dependent rows keep their committed values, so a baseline bump
 //! produces the same file on any machine — no more hand-editing. Only new
-//! machine-dependent rows fall back to this machine's measurement.
+//! machine-dependent rows fall back to this machine's measurement. The run
+//! ends with a changed-vs-preserved summary so a bump that was expected to
+//! be a no-op is visible as one.
 //! `--write-baseline` snapshots *every* row as measured here (first-time
 //! setup, or after an intentional wall-clock performance change).
+//! `--check-baseline` regenerates the deterministic rows in memory and
+//! fails — writing nothing — if `--update-baseline` would change any of
+//! them: the CI guard against behaviour changes shipped without a baseline
+//! refresh. Wall-clock measurements are skipped entirely (they are
+//! preserved by `--update-baseline` anyway, so they cannot drift).
 
 use hstorage::experiments::tier_migration;
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
-    contended_hot_reads, drive, fresh_cache, mixed_policy_run, random_read, scan_read,
-    service_latency_percentiles, warmed_cache, HOT_READS_PER_THREAD, QUEUE_DEPTH, TOTAL_SUBMITS,
+    contended_hot_reads, drive, fresh_cache, interior_hit_read, interior_submits, mixed_policy_run,
+    random_read, scan_read, service_latency_percentiles, warmed_cache, warmed_interior_cache,
+    HOT_READS_PER_THREAD, QUEUE_DEPTH, TOTAL_SUBMITS,
 };
-use hstorage_cache::{CachePolicyKind, StorageSystem};
+use hstorage_cache::{CachePolicyKind, ListBackend, StorageSystem};
 use std::time::Instant;
 
 const WALL_RUNS: usize = 5;
@@ -133,6 +141,25 @@ fn hot_read_equivalence() -> (f64, f64, f64) {
     )
 }
 
+/// Median wall-clock single-thread submits/second over [`WALL_RUNS`]
+/// pre-warmed runs of the interior hit cycle on the given shard-interior
+/// backend. The working set holds hundreds of resident blocks per shard,
+/// so the optimistic descriptor never matches and every submit pays the
+/// locked path — stripe mutex, metadata probe, policy-list touch — which
+/// is exactly where the flat and the legacy map interior differ.
+fn interior_wall_throughput(backend: ListBackend) -> f64 {
+    let mut rates: Vec<f64> = (0..WALL_RUNS)
+        .map(|_| {
+            let cache = warmed_interior_cache(backend);
+            let start = Instant::now();
+            interior_submits(&cache, 0, TOTAL_SUBMITS, interior_hit_read);
+            TOTAL_SUBMITS as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WALL_RUNS / 2]
+}
+
 /// Median wall-clock hot-read submits/second over [`WALL_RUNS`] pre-warmed
 /// runs of the contended workload at `threads` OS threads.
 fn contended_wall_throughput(optimistic: bool, threads: usize) -> f64 {
@@ -154,6 +181,7 @@ fn main() {
     let mut report_path = "BENCH_report.json".to_string();
     let mut write_baseline = false;
     let mut update_baseline = false;
+    let mut check_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -161,24 +189,33 @@ fn main() {
             "--report" => report_path = args.next().expect("--report needs a path"),
             "--write-baseline" => write_baseline = true,
             "--update-baseline" => update_baseline = true,
+            "--check-baseline" => check_baseline = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_gate [--baseline <path>] [--report <path>] \
-                     [--write-baseline | --update-baseline]"
+                     [--write-baseline | --update-baseline | --check-baseline]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if write_baseline && update_baseline {
-        eprintln!("bench_gate: --write-baseline and --update-baseline are mutually exclusive");
+    if usize::from(write_baseline) + usize::from(update_baseline) + usize::from(check_baseline) > 1
+    {
+        eprintln!(
+            "bench_gate: --write-baseline, --update-baseline and --check-baseline \
+             are mutually exclusive"
+        );
         std::process::exit(2);
     }
 
     println!("bench_gate: quick submit-throughput workload ({TOTAL_SUBMITS} submits per run)");
-    let wall_single = wall_throughput(1);
-    let wall_batch64 = wall_throughput(64);
+    // `--check-baseline` only looks at deterministic rows, so the wall
+    // measurements — the slow half of the run — are skipped; their rows
+    // carry NaN and are never compared or written in that mode.
+    let wall = |f: &dyn Fn() -> f64| if check_baseline { f64::NAN } else { f() };
+    let wall_single = wall(&|| wall_throughput(1));
+    let wall_batch64 = wall(&|| wall_throughput(64));
     let sim_unbatched = sim_scan_seconds(1);
     let sim_batched = sim_scan_seconds(QUEUE_DEPTH);
     let sim_random = sim_random_seconds();
@@ -321,8 +358,8 @@ fn main() {
             lower_is_better: false,
         });
     }
-    let contended_locked_8 = contended_wall_throughput(false, 8);
-    let contended_opt = [8usize, 16, 32].map(|t| (t, contended_wall_throughput(true, t)));
+    let contended_locked_8 = wall(&|| contended_wall_throughput(false, 8));
+    let contended_opt = [8usize, 16, 32].map(|t| (t, wall(&|| contended_wall_throughput(true, t))));
     for (threads, rate) in contended_opt {
         measurements.push(Measurement {
             metric: format!("wall: contended hot-read throughput at {threads} threads (submits/s)"),
@@ -339,6 +376,28 @@ fn main() {
         deterministic: false,
         lower_is_better: false,
     });
+    // The shard interior, flat (open-addressing table + arena lists) vs
+    // the legacy map: single-thread hit-cycle throughput on each. The
+    // absolute rows are machine-dependent and ungated; the flat-vs-map
+    // comparison is checked baseline-free below (both sides run in the
+    // same process, so the ratio is machine-robust).
+    let interior_flat = wall(&|| interior_wall_throughput(ListBackend::Flat));
+    let interior_map = wall(&|| interior_wall_throughput(ListBackend::Map));
+    for (backend, value) in [
+        (ListBackend::Flat, interior_flat),
+        (ListBackend::Map, interior_map),
+    ] {
+        measurements.push(Measurement {
+            metric: format!(
+                "wall: interior {} single-thread hit-cycle throughput (submits/s)",
+                backend.label()
+            ),
+            value,
+            gated: false,
+            deterministic: false,
+            lower_is_better: false,
+        });
+    }
 
     if write_baseline || update_baseline {
         // --update-baseline keeps the committed values of
@@ -352,20 +411,46 @@ fn main() {
         } else {
             Vec::new()
         };
+        let (mut sim_changed, mut sim_unchanged, mut wall_preserved, mut wall_new) = (0, 0, 0, 0);
         let rows: Vec<PaperComparison> = measurements
             .iter()
             .map(|m| {
-                let preserved = if m.deterministic {
-                    None
-                } else {
-                    old.iter()
-                        .find(|r| r.metric == m.metric)
-                        .map(|r| r.measured)
-                };
+                let old_value = old
+                    .iter()
+                    .find(|r| r.metric == m.metric)
+                    .map(|r| r.measured);
+                let preserved = if m.deterministic { None } else { old_value };
                 if update_baseline {
-                    match preserved {
-                        Some(v) => println!("  preserved  {} = {v:.3}", m.metric),
-                        None => println!("  measured   {} = {:.3}", m.metric, m.value),
+                    // Changed-vs-preserved summary: sim rows are compared
+                    // against their committed values (a no-op bump should
+                    // read "0 changed"), wall rows just report whether a
+                    // committed value existed to preserve.
+                    if m.deterministic {
+                        match old_value {
+                            Some(v) if v == m.value => {
+                                sim_unchanged += 1;
+                                println!("  unchanged  {} = {v:.3}", m.metric);
+                            }
+                            Some(v) => {
+                                sim_changed += 1;
+                                println!("  changed    {}: {v:.3} -> {:.3}", m.metric, m.value);
+                            }
+                            None => {
+                                sim_changed += 1;
+                                println!("  added      {} = {:.3}", m.metric, m.value);
+                            }
+                        }
+                    } else {
+                        match preserved {
+                            Some(v) => {
+                                wall_preserved += 1;
+                                println!("  preserved  {} = {v:.3}", m.metric);
+                            }
+                            None => {
+                                wall_new += 1;
+                                println!("  measured   {} = {:.3}", m.metric, m.value);
+                            }
+                        }
                     }
                 }
                 let value = preserved.unwrap_or(m.value);
@@ -380,6 +465,12 @@ fn main() {
             eprintln!("bench_gate: cannot write {report_path}: {e}");
             std::process::exit(1);
         });
+        if update_baseline {
+            println!(
+                "summary: {sim_changed} sim row(s) changed, {sim_unchanged} unchanged; \
+                 {wall_preserved} wall row(s) preserved, {wall_new} newly measured"
+            );
+        }
         println!("baseline written to {baseline_path}");
         return;
     }
@@ -406,6 +497,38 @@ fn main() {
             .find(|r| r.metric == metric)
             .map(|r| r.measured)
     };
+
+    if check_baseline {
+        // `--update-baseline` overwrites sim rows with freshly measured
+        // values and preserves everything else, so the committed baseline
+        // is stale iff any deterministic row differs from its committed
+        // value. Baseline floats are written in shortest round-trip form,
+        // so the equality below is bit-exact, not a tolerance band.
+        let mut drift = Vec::new();
+        for m in measurements.iter().filter(|m| m.deterministic) {
+            match baseline_value(&m.metric) {
+                Some(v) if v == m.value => {}
+                Some(v) => drift.push(format!(
+                    "{}: committed {v} != regenerated {}",
+                    m.metric, m.value
+                )),
+                None => drift.push(format!("{}: missing from {baseline_path}", m.metric)),
+            }
+        }
+        if drift.is_empty() {
+            let checked = measurements.iter().filter(|m| m.deterministic).count();
+            println!("bench_gate: baseline is current ({checked} sim rows bit-identical)");
+            return;
+        }
+        for d in &drift {
+            eprintln!("bench_gate: STALE BASELINE: {d}");
+        }
+        eprintln!(
+            "bench_gate: {baseline_path} no longer matches the code — refresh it \
+             with --update-baseline and commit the result"
+        );
+        std::process::exit(1);
+    }
 
     let mut failures = Vec::new();
 
@@ -500,6 +623,23 @@ fn main() {
              ({:.0}/s) is not strictly better than the locked path ({contended_locked_8:.0}/s)",
             contended_opt[0].1
         ));
+    }
+    // Acceptance criterion of the cache-friendly shard interior, also
+    // baseline-free: the flat interior (open-addressing table + arena
+    // lists) must be at least as fast as the legacy map interior on the
+    // single-thread hit cycle it was built for. Both sides run in this
+    // process, so the comparison is machine-robust.
+    if interior_flat < interior_map {
+        failures.push(format!(
+            "interior flat hit-cycle throughput ({interior_flat:.0}/s) fell below \
+             the legacy map interior ({interior_map:.0}/s, ratio {:.2})",
+            interior_flat / interior_map
+        ));
+    } else {
+        println!(
+            "interior flat-over-map hit-cycle speedup: {:.2}x",
+            interior_flat / interior_map
+        );
     }
     // Acceptance criterion of the adaptive policy, also baseline-free:
     // self-tuning ARC must hit at least as often as engine-LRU on the

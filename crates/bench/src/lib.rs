@@ -33,7 +33,7 @@ pub fn report_concurrency_scale() -> TpchScale {
 /// construction and drive loop live here, once.
 pub mod workload {
     use hstorage_cache::{
-        CachePolicyKind, HybridCache, StorageConfig, StorageConfigKind, StorageSystem,
+        CachePolicyKind, HybridCache, ListBackend, StorageConfig, StorageConfigKind, StorageSystem,
     };
     use hstorage_engine::{
         run_streams_service, Access, Catalog, ConcurrencyRegistry, ExecutorConfig, ObjectKind,
@@ -160,7 +160,16 @@ pub mod workload {
     /// after warm-up; the `optimistic` flag selects the lock-light or the
     /// fully locked (pre-optimization) hot path.
     pub fn warmed_cache(optimistic: bool) -> HybridCache {
-        let cache = fresh_cache(1).with_optimistic_reads(optimistic);
+        warmed_backend_cache(optimistic, ListBackend::default())
+    }
+
+    /// As [`warmed_cache`], with an explicit shard-interior backend — the
+    /// contended bench runs the flat and the legacy map interior
+    /// side-by-side at full thread count.
+    pub fn warmed_backend_cache(optimistic: bool, backend: ListBackend) -> HybridCache {
+        let cache = fresh_cache(1)
+            .with_interior_backend(backend)
+            .with_optimistic_reads(optimistic);
         for _ in 0..2 {
             for b in 0..HOT_SET {
                 cache.submit(hot_read(b * 16));
@@ -184,6 +193,73 @@ pub mod workload {
                 });
             }
         });
+        cache.resident_blocks()
+    }
+
+    /// Distinct blocks of the shard-interior latency working set: half the
+    /// cache capacity, so the set is fully resident after one warm-up pass
+    /// and every shard holds `INTERIOR_SET / SHARDS` distinct hot blocks.
+    pub const INTERIOR_SET: u64 = BLOCKS / 2;
+
+    /// The `i`-th read of the interior *hit* cycle: a single-block
+    /// priority-2 random read cycling over the [`INTERIOR_SET`]. Because
+    /// each shard holds hundreds of distinct resident blocks, consecutive
+    /// hits to a shard land on different blocks — the optimistic hit
+    /// descriptor never matches, so every submit takes the full locked
+    /// path: stripe mutex, metadata probe, policy-list touch. That is
+    /// exactly the path the interior backends (flat vs map) differ on.
+    pub fn interior_hit_read(i: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(i % INTERIOR_SET, 1), false),
+            RequestClass::Random,
+            QosPolicy::priority(2),
+        )
+    }
+
+    /// The `i`-th read of the interior *miss* cycle: a never-repeating
+    /// address past the warmed set, so every submit misses, probes the
+    /// table, allocates a slot and — once the cache fills — evicts. This
+    /// exercises the insert/remove and list push/pop half of the interior.
+    pub fn interior_miss_read(i: u64) -> ClassifiedRequest {
+        ClassifiedRequest::new(
+            IoRequest::read(BlockRange::new(INTERIOR_SET + 1 + i, 1), false),
+            RequestClass::Random,
+            QosPolicy::priority(2),
+        )
+    }
+
+    /// A fresh single-queue-depth sharded cache running the default policy
+    /// on the chosen shard-interior backend (cold — miss-cycle starting
+    /// point).
+    pub fn fresh_interior_cache(backend: ListBackend) -> HybridCache {
+        fresh_cache(1).with_interior_backend(backend)
+    }
+
+    /// A cache on the chosen interior backend pre-warmed so the whole
+    /// [`INTERIOR_SET`] is resident; statistics are reset after warm-up so
+    /// every subsequent [`interior_hit_read`] is a cache hit.
+    pub fn warmed_interior_cache(backend: ListBackend) -> HybridCache {
+        let cache = fresh_interior_cache(backend);
+        for i in 0..INTERIOR_SET {
+            cache.submit(interior_hit_read(i));
+        }
+        cache.reset_stats();
+        cache
+    }
+
+    /// Drives `n` single-thread submits of the given shape through
+    /// `cache`, offset by `base` so back-to-back runs of the miss cycle
+    /// keep generating fresh addresses. Returns the resident block count
+    /// so benches have a value to `black_box`.
+    pub fn interior_submits(
+        cache: &HybridCache,
+        base: u64,
+        n: u64,
+        make: impl Fn(u64) -> ClassifiedRequest,
+    ) -> u64 {
+        for i in base..base + n {
+            cache.submit(make(i));
+        }
         cache.resident_blocks()
     }
 

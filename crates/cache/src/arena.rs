@@ -1,0 +1,387 @@
+//! Slab arena for intrusive doubly-linked lists over `u32` indices.
+//!
+//! Every recency structure in the cache — the LRU stacks, the per-priority
+//! groups, the ghost directories — is an ordered list of block addresses
+//! with O(1) touch/insert/remove. The classic implementation allocates one
+//! heap node per element and chases pointers; this arena keeps all nodes
+//! of a list in one dense `Vec` and links them with `u32` indices, so a
+//! list walk touches consecutive cache lines and a freed node's slot is
+//! recycled from an explicit free list instead of round-tripping through
+//! the allocator.
+//!
+//! [`ListArena`] owns the node storage; [`ListHandle`] is the head/tail
+//! cursor of one list threaded through it. Handles borrow the arena per
+//! call, so several lists could share one arena — the shipped lists use
+//! one arena per list, which keeps `Clone` trivial.
+
+use hstorage_storage::BlockAddr;
+
+/// Null link: no node.
+pub const NIL: u32 = u32::MAX;
+
+/// One intrusive list node: the key plus its neighbour links.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: BlockAddr,
+    prev: u32,
+    next: u32,
+}
+
+/// The slab that stores list nodes: a dense `Vec` plus a free list of
+/// recycled slots. Nodes are addressed by `u32` index; [`NIL`] is the null
+/// link.
+#[derive(Debug, Clone, Default)]
+pub struct ListArena {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+}
+
+impl ListArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots ever allocated (live + free) — the slab's
+    /// high-water mark.
+    pub fn slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live (linked) nodes.
+    pub fn live(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Allocates a node for `key`, recycling a freed slot if one exists.
+    fn alloc(&mut self, key: BlockAddr) -> u32 {
+        let node = Node {
+            key,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "list arena full");
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Returns a node's slot to the free list.
+    fn release(&mut self, slot: u32) {
+        self.free.push(slot);
+    }
+
+    /// The key stored in a live node.
+    #[inline]
+    pub fn key(&self, slot: u32) -> BlockAddr {
+        self.nodes[slot as usize].key
+    }
+
+    /// A reference to the key stored in a live node (for `peek` APIs that
+    /// hand out references).
+    #[inline]
+    pub fn key_ref(&self, slot: u32) -> &BlockAddr {
+        &self.nodes[slot as usize].key
+    }
+}
+
+/// One doubly-linked list threaded through a [`ListArena`]: front = most
+/// recently used, back = eviction candidate. All methods take the arena
+/// the handle's nodes live in.
+#[derive(Debug, Clone, Copy)]
+pub struct ListHandle {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Default for ListHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ListHandle {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        ListHandle {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of nodes in this list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates a node for `key` and links it at the front. Returns the
+    /// node index for colocation in an index structure.
+    pub fn push_front(&mut self, arena: &mut ListArena, key: BlockAddr) -> u32 {
+        let slot = arena.alloc(key);
+        self.link_front(arena, slot);
+        self.len += 1;
+        slot
+    }
+
+    /// Unlinks and frees the back node, returning its key.
+    pub fn pop_back(&mut self, arena: &mut ListArena) -> Option<BlockAddr> {
+        let slot = self.tail;
+        if slot == NIL {
+            return None;
+        }
+        let key = arena.key(slot);
+        self.unlink(arena, slot);
+        arena.release(slot);
+        self.len -= 1;
+        Some(key)
+    }
+
+    /// The back (least-recently-used) key, if any.
+    #[inline]
+    pub fn back<'a>(&self, arena: &'a ListArena) -> Option<&'a BlockAddr> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(arena.key_ref(self.tail))
+        }
+    }
+
+    /// Unlinks and frees a specific node (which must belong to this list).
+    pub fn remove(&mut self, arena: &mut ListArena, slot: u32) {
+        self.unlink(arena, slot);
+        arena.release(slot);
+        self.len -= 1;
+    }
+
+    /// Moves a node (which must belong to this list) to the front.
+    pub fn move_front(&mut self, arena: &mut ListArena, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(arena, slot);
+        self.link_front(arena, slot);
+    }
+
+    /// Iterates keys front → back (most → least recently used).
+    pub fn iter_front<'a>(&self, arena: &'a ListArena) -> ListIter<'a> {
+        ListIter {
+            arena,
+            cur: self.head,
+            forward: true,
+        }
+    }
+
+    /// Iterates keys back → front (least → most recently used).
+    pub fn iter_back<'a>(&self, arena: &'a ListArena) -> ListIter<'a> {
+        ListIter {
+            arena,
+            cur: self.tail,
+            forward: false,
+        }
+    }
+
+    fn link_front(&mut self, arena: &mut ListArena, slot: u32) {
+        let head = self.head;
+        {
+            let node = &mut arena.nodes[slot as usize];
+            node.prev = NIL;
+            node.next = head;
+        }
+        if head != NIL {
+            arena.nodes[head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, arena: &mut ListArena, slot: u32) {
+        let (prev, next) = {
+            let node = &arena.nodes[slot as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            arena.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            arena.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let node = &mut arena.nodes[slot as usize];
+        node.prev = NIL;
+        node.next = NIL;
+    }
+}
+
+/// Iterator over the keys of one [`ListHandle`]'s list.
+pub struct ListIter<'a> {
+    arena: &'a ListArena,
+    cur: u32,
+    forward: bool,
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a BlockAddr;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.arena.nodes[self.cur as usize];
+        self.cur = if self.forward { node.next } else { node.prev };
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn push_pop_order_is_fifo_from_the_back() {
+        let mut arena = ListArena::new();
+        let mut list = ListHandle::new();
+        for i in 1..=3u64 {
+            list.push_front(&mut arena, BlockAddr(i));
+        }
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.pop_back(&mut arena), Some(BlockAddr(1)));
+        assert_eq!(list.pop_back(&mut arena), Some(BlockAddr(2)));
+        assert_eq!(list.pop_back(&mut arena), Some(BlockAddr(3)));
+        assert_eq!(list.pop_back(&mut arena), None);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn move_front_reorders_and_back_peeks() {
+        let mut arena = ListArena::new();
+        let mut list = ListHandle::new();
+        let a = list.push_front(&mut arena, BlockAddr(1));
+        let _b = list.push_front(&mut arena, BlockAddr(2));
+        assert_eq!(list.back(&arena), Some(&BlockAddr(1)));
+        list.move_front(&mut arena, a);
+        assert_eq!(list.back(&arena), Some(&BlockAddr(2)));
+        // Moving the head is a no-op.
+        list.move_front(&mut arena, a);
+        assert_eq!(list.back(&arena), Some(&BlockAddr(2)));
+        let order: Vec<BlockAddr> = list.iter_front(&arena).copied().collect();
+        assert_eq!(order, vec![BlockAddr(1), BlockAddr(2)]);
+    }
+
+    #[test]
+    fn remove_unlinks_interior_nodes() {
+        let mut arena = ListArena::new();
+        let mut list = ListHandle::new();
+        let _a = list.push_front(&mut arena, BlockAddr(1));
+        let b = list.push_front(&mut arena, BlockAddr(2));
+        let _c = list.push_front(&mut arena, BlockAddr(3));
+        list.remove(&mut arena, b);
+        let order: Vec<BlockAddr> = list.iter_back(&arena).copied().collect();
+        assert_eq!(order, vec![BlockAddr(1), BlockAddr(3)]);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled_before_the_slab_grows() {
+        let mut arena = ListArena::new();
+        let mut list = ListHandle::new();
+        for i in 0..100u64 {
+            list.push_front(&mut arena, BlockAddr(i));
+        }
+        for _ in 0..100 {
+            list.pop_back(&mut arena);
+        }
+        for i in 100..200u64 {
+            list.push_front(&mut arena, BlockAddr(i));
+        }
+        assert!(arena.slots() <= 100, "slab grew past the live peak");
+        assert_eq!(arena.live(), 100);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The arena list agrees with a `VecDeque` model (front = index 0)
+        /// on any trace of push-front / pop-back / move-front / remove
+        /// operations, and free-list recycling never hands out a slot that
+        /// is still linked into the list.
+        #[test]
+        fn arena_list_matches_a_vec_deque_model(
+            ops in proptest::collection::vec((0u8..4, 0u64..24), 1..300),
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            use std::collections::HashMap;
+            let mut arena = ListArena::new();
+            let mut list = ListHandle::new();
+            // key → live node slot; mirrors what an index map colocates.
+            let mut slots: HashMap<u64, u32> = HashMap::new();
+            let mut model: VecDeque<u64> = VecDeque::new();
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        // Push a key not currently present.
+                        if !slots.contains_key(&key) {
+                            let slot = list.push_front(&mut arena, BlockAddr(key));
+                            prop_assert!(
+                                slots.values().all(|&s| s != slot),
+                                "free-list reuse aliased a live node"
+                            );
+                            slots.insert(key, slot);
+                            model.push_front(key);
+                        }
+                    }
+                    1 => {
+                        let popped = list.pop_back(&mut arena).map(|b| b.0);
+                        prop_assert_eq!(popped, model.pop_back());
+                        if let Some(k) = popped {
+                            slots.remove(&k);
+                        }
+                    }
+                    2 => {
+                        if let Some(&slot) = slots.get(&key) {
+                            list.move_front(&mut arena, slot);
+                            let pos = model.iter().position(|&k| k == key).unwrap();
+                            model.remove(pos);
+                            model.push_front(key);
+                        }
+                    }
+                    _ => {
+                        if let Some(slot) = slots.remove(&key) {
+                            list.remove(&mut arena, slot);
+                            let pos = model.iter().position(|&k| k == key).unwrap();
+                            model.remove(pos);
+                        }
+                    }
+                }
+                prop_assert_eq!(list.len(), model.len());
+                prop_assert_eq!(arena.live(), model.len());
+                let front: Vec<u64> = list.iter_front(&arena).map(|b| b.0).collect();
+                let expect: Vec<u64> = model.iter().copied().collect();
+                prop_assert_eq!(front, expect);
+                let mut back: Vec<u64> = list.iter_back(&arena).map(|b| b.0).collect();
+                back.reverse();
+                let expect: Vec<u64> = model.iter().copied().collect();
+                prop_assert_eq!(back, expect);
+            }
+        }
+    }
+}

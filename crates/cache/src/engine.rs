@@ -55,6 +55,7 @@
 //! [`crate::ContentionCounters`] reports how often each path was taken.
 
 use crate::allocator::SlotAllocator;
+use crate::lru::ListBackend;
 use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
 use crate::migration::{MigrationConfig, MigrationCounters, MigrationStats, ShardMigration};
 use crate::policy::{CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason};
@@ -154,10 +155,17 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(config: &PolicyConfig, capacity: u64, policy: Box<dyn CachePolicy>) -> Self {
+    fn new(
+        config: &PolicyConfig,
+        capacity: u64,
+        policy: Box<dyn CachePolicy>,
+        backend: ListBackend,
+    ) -> Self {
         Shard {
             view: RwLock::new(MetaView {
-                meta: CacheMetadata::new(),
+                // Pre-sized to the shard's slot count: a full shard never
+                // rehashes mid-run on the flat backend.
+                meta: CacheMetadata::with_backend(backend, capacity as usize),
                 hot: None,
             }),
             inner: Mutex::new(ShardInner {
@@ -512,6 +520,7 @@ impl Shard {
             pending_demote,
             rounds,
             track_cap,
+            resident_scratch,
         } = mig;
 
         let fast_hits = self.fast_heat.swap(0, Ordering::Relaxed);
@@ -535,14 +544,6 @@ impl Shard {
         pending_demote.retain(|lbn| view.meta.contains(*lbn));
         pending_promote.retain(|lbn| !view.meta.contains(*lbn) && heat.heat(*lbn) > 0);
 
-        let mut residents: Vec<(u64, BlockAddr)> = view
-            .meta
-            .iter()
-            .filter(|(_, e)| !policy.write_buffered(e.priority))
-            .map(|(lbn, _)| (heat.heat(*lbn), *lbn))
-            .collect();
-        residents.sort_unstable();
-
         let mut absents: Vec<(u64, BlockAddr, PolicyRequest)> = heat
             .iter()
             .filter(|(lbn, heat)| **heat > 0 && !view.meta.contains(**lbn))
@@ -564,6 +565,23 @@ impl Shard {
             })
             .collect();
         absents.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Residents are only consumed by the absents-gated pairing loops
+        // below, so a round with no promotion candidate (the steady state
+        // of a stable working set) skips the full metadata sweep and sort.
+        // The sweep reuses the shard's scratch buffer instead of
+        // reallocating a shard-sized Vec every round.
+        let residents = resident_scratch;
+        residents.clear();
+        if !absents.is_empty() {
+            residents.extend(
+                view.meta
+                    .iter()
+                    .filter(|(_, e)| !policy.write_buffered(e.priority))
+                    .map(|(lbn, _)| (heat.heat(lbn), lbn)),
+            );
+            residents.sort_unstable();
+        }
 
         // Performs one promotion: fetch from HDD, place in SSD, clean, via
         // the policy's normal insertion path. A nested fn (not a closure)
@@ -704,6 +722,10 @@ impl Shard {
 pub struct CacheEngine {
     config: PolicyConfig,
     policy_kind: CachePolicyKind,
+    /// The [`Self::with_interior_backend`] knob (default
+    /// [`ListBackend::Flat`]): which data-structure layout backs every
+    /// shard's resident-block table and the policies' recency lists.
+    interior_backend: ListBackend,
     name: String,
     /// Whether the installed policy maintains a write buffer (group 0).
     /// When it does not, the write-buffer flush checks and the batch
@@ -810,16 +832,23 @@ impl CacheEngine {
         config.validate().expect("invalid policy configuration");
         assert!(shards > 0, "shard count must be positive");
         let kind = CachePolicyKind::default();
+        let backend = ListBackend::default();
         let n = shards as u64;
         let shards = (0..n)
             .map(|i| {
                 let capacity = cache_capacity_blocks / n + u64::from(i < cache_capacity_blocks % n);
-                Shard::new(&config, capacity, kind.build(&config, capacity))
+                Shard::new(
+                    &config,
+                    capacity,
+                    kind.build_backed(&config, capacity, backend),
+                    backend,
+                )
             })
             .collect();
         let mut engine = CacheEngine {
             config,
             policy_kind: kind,
+            interior_backend: backend,
             name: kind.system_name().to_string(),
             write_buffering: true,
             optimistic_reads: true,
@@ -881,10 +910,46 @@ impl CacheEngine {
                 "cache policy must be selected before submitting traffic"
             );
             let inner = shard.inner.get_mut();
-            inner.policy = kind.build(&self.config, inner.alloc.capacity());
+            inner.policy =
+                kind.build_backed(&self.config, inner.alloc.capacity(), self.interior_backend);
         }
         self.refresh_policy_traits();
         self
+    }
+
+    /// Selects which data-structure layout backs every shard's
+    /// resident-block table and the installed policy's recency lists:
+    /// [`ListBackend::Flat`] (the default) uses open-addressing tables
+    /// and arena-backed intrusive lists, [`ListBackend::Map`] the legacy
+    /// `HashMap`-plus-heap-node structures. The knob never changes a
+    /// caching decision — the equivalence suites and the bench gate pin
+    /// the two backends to identical statistics — only the memory the
+    /// hot path walks. Must be called before any traffic is submitted
+    /// (shard metadata and policy state are rebuilt empty), and before
+    /// [`Self::with_policy_factory`] if a custom policy is installed
+    /// (this knob rebuilds the shipped [`CachePolicyKind`]'s policies).
+    pub fn with_interior_backend(mut self, backend: ListBackend) -> Self {
+        self.interior_backend = backend;
+        for shard in &mut self.shards {
+            let inner = shard.inner.get_mut();
+            let capacity = inner.alloc.capacity();
+            let view = shard.view.get_mut();
+            assert!(
+                view.meta.is_empty(),
+                "interior backend must be selected before submitting traffic"
+            );
+            view.meta = CacheMetadata::with_backend(backend, capacity as usize);
+            inner.policy = self
+                .policy_kind
+                .build_backed(&self.config, capacity, backend);
+        }
+        self.refresh_policy_traits();
+        self
+    }
+
+    /// The interior data-structure backend in force.
+    pub fn interior_backend(&self) -> ListBackend {
+        self.interior_backend
     }
 
     /// Installs a custom [`CachePolicy`] built by `factory` (called once

@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allocator;
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod hybrid;
@@ -42,11 +43,14 @@ pub mod policy;
 pub mod priority_group;
 pub mod stats;
 pub mod system;
+pub mod table;
 pub mod trace;
 
+pub use arena::{ListArena, ListHandle};
 pub use config::{StorageConfig, StorageConfigKind};
 pub use engine::CacheEngine;
 pub use hybrid::HybridCache;
+pub use lru::ListBackend;
 pub use lru_cache::LruCache;
 pub use migration::{HeatTracker, MigrationConfig, MigrationStats};
 pub use passthrough::{HddOnly, SsdOnly};
@@ -56,6 +60,8 @@ pub use policy::{
 };
 pub use stats::{
     AtomicCacheStats, CacheAction, CacheStats, ClassCounters, ContentionCounters, LatencyHistogram,
+    LocalCacheStats,
 };
 pub use system::StorageSystem;
+pub use table::{BlockTable, OpenMap};
 pub use trace::{Trace, TraceEvent, TraceRecorder};

@@ -17,10 +17,11 @@
 //! not a scale target).
 
 use crate::allocator::SlotAllocator;
-use crate::lru::LruList;
-use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
-use crate::stats::{CacheAction, CacheStats};
+use crate::arena::{ListArena, ListHandle};
+use crate::metadata::{BlockState, CacheEntry};
+use crate::stats::{CacheAction, CacheStats, LocalCacheStats};
 use crate::system::StorageSystem;
+use crate::table::BlockTable;
 use hstorage_storage::{
     BlockAddr, BlockRange, CachePriority, ClassifiedRequest, Direction, HddDevice, IoRequest,
     PolicyConfig, SimClock, SsdDevice, StorageDevice, TrimCommand,
@@ -29,17 +30,27 @@ use parking_lot::Mutex;
 use std::time::Duration;
 
 /// The mutable cache-management state, all behind one lock.
+///
+/// The single mutex makes this baseline the one cache whose metadata and
+/// recency state share a structure: each [`BlockTable`] slot colocates
+/// the block's [`CacheEntry`] with the index of its LRU arena node, so a
+/// hit resolves membership, metadata and stack position in one probe
+/// chain and touches the stack with two or three arena-index writes.
 struct LruInner {
-    meta: CacheMetadata,
-    lru: LruList<BlockAddr>,
+    table: BlockTable,
+    arena: ListArena,
+    lru: ListHandle,
     alloc: SlotAllocator,
-    stats: CacheStats,
+    stats: LocalCacheStats,
 }
 
 impl LruInner {
     fn evict_one(&mut self) -> u64 {
-        let victim = self.lru.pop_lru().expect("evicting from an empty cache");
-        let entry = self.meta.remove(victim).expect("LRU/metadata mismatch");
+        let victim = self
+            .lru
+            .pop_back(&mut self.arena)
+            .expect("evicting from an empty cache");
+        let entry = self.table.remove(victim).expect("LRU/metadata mismatch");
         self.stats.record_action(CacheAction::Eviction, 1);
         self.alloc.release(entry.pbn);
         if entry.is_dirty() {
@@ -97,10 +108,11 @@ impl LruCache {
             ssd,
             hdd,
             inner: Mutex::new(LruInner {
-                meta: CacheMetadata::new(),
-                lru: LruList::new(),
+                table: BlockTable::with_capacity(cache_capacity_blocks as usize),
+                arena: ListArena::new(),
+                lru: ListHandle::new(),
                 alloc: SlotAllocator::new(cache_capacity_blocks),
-                stats: CacheStats::new(),
+                stats: LocalCacheStats::new(),
             }),
         }
     }
@@ -112,7 +124,7 @@ impl LruCache {
 
     /// Whether `lbn` is currently resident in the cache.
     pub fn contains_block(&self, lbn: BlockAddr) -> bool {
-        self.inner.lock().meta.contains(lbn)
+        self.inner.lock().table.contains(lbn)
     }
 }
 
@@ -129,17 +141,18 @@ impl StorageSystem for LruCache {
         let mut hdd_read = 0u64;
         let mut hdd_write = 0u64;
 
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
         for lbn in req.io.range.iter() {
-            if inner.meta.contains(lbn) {
+            if let Some(node) = inner.table.node(lbn) {
                 hits += 1;
-                inner.lru.touch(&lbn);
+                inner.lru.move_front(&mut inner.arena, node);
                 inner.stats.record_action(CacheAction::CacheHit, 1);
                 match req.io.direction {
                     Direction::Read => ssd_read += 1,
                     Direction::Write => {
                         ssd_write += 1;
-                        if let Some(e) = inner.meta.get_mut(lbn) {
+                        if let Some(e) = inner.table.get_mut(lbn) {
                             e.state = BlockState::Dirty;
                         }
                     }
@@ -161,7 +174,7 @@ impl StorageSystem for LruCache {
                         BlockState::Dirty
                     }
                 };
-                inner.meta.insert(
+                inner.table.insert(
                     lbn,
                     CacheEntry {
                         pbn,
@@ -171,15 +184,15 @@ impl StorageSystem for LruCache {
                         state,
                     },
                 );
-                inner.lru.insert_mru(lbn);
+                let node = inner.lru.push_front(&mut inner.arena, lbn);
+                inner.table.set_node(lbn, node);
             }
         }
 
         let blocks = req.blocks();
         inner.stats.record_class(req.class, blocks, hits);
         inner.stats.record_priority(prio.0, blocks, hits);
-        inner.stats.resident_blocks = inner.meta.len() as u64;
-        drop(inner);
+        drop(guard);
 
         let seq = req.io.sequential;
         let start = req.io.range.start;
@@ -209,8 +222,8 @@ impl StorageSystem for LruCache {
 
     fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
-        let mut s = inner.stats.clone();
-        s.resident_blocks = inner.meta.len() as u64;
+        let mut s = inner.stats.snapshot();
+        s.resident_blocks = inner.table.len() as u64;
         drop(inner);
         s.ssd = Some(self.ssd.stats());
         s.hdd = Some(self.hdd.stats());
@@ -222,13 +235,13 @@ impl StorageSystem for LruCache {
     }
 
     fn reset_stats(&self) {
-        self.inner.lock().stats = CacheStats::new();
+        self.inner.lock().stats.reset();
         self.ssd.reset_stats();
         self.hdd.reset_stats();
     }
 
     fn resident_blocks(&self) -> u64 {
-        self.inner.lock().meta.len() as u64
+        self.inner.lock().table.len() as u64
     }
 }
 

@@ -232,10 +232,24 @@ impl MigrationStats {
 ///   gives the same answer in any order.
 ///
 /// Both are pinned by property tests.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct HeatTracker {
     counts: HashMap<BlockAddr, u64>,
+    /// Reused sort scratch for [`HeatTracker::retain_hottest`], so the
+    /// per-round cap does not reallocate a tracker-sized `Vec` every
+    /// time. Excluded from equality: it is working memory, not state.
+    scratch: Vec<(u64, BlockAddr)>,
 }
+
+/// Equality compares the tracked counters only — the reused sort scratch
+/// is working memory and never observable.
+impl PartialEq for HeatTracker {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
+impl Eq for HeatTracker {}
 
 impl HeatTracker {
     /// An empty tracker.
@@ -303,18 +317,23 @@ impl HeatTracker {
     }
 
     /// Caps the tracker at the `cap` hottest blocks, breaking heat ties
-    /// by lowest address (deterministic regardless of map order).
+    /// by lowest address (deterministic regardless of map order). A
+    /// tracker already within the cap — the steady state between decay
+    /// spikes — returns without touching the scratch buffer or sorting.
     pub fn retain_hottest(&mut self, cap: usize) {
         if self.counts.len() <= cap {
             return;
         }
-        let mut entries: Vec<(u64, BlockAddr)> =
-            self.counts.iter().map(|(&l, &h)| (h, l)).collect();
+        self.scratch.clear();
+        self.scratch
+            .extend(self.counts.iter().map(|(&l, &h)| (h, l)));
         // Hottest first; ties broken by the lower address surviving.
-        entries.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, lbn) in entries.drain(cap..) {
+        self.scratch
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, lbn) in &self.scratch[cap..] {
             self.counts.remove(&lbn);
         }
+        self.scratch.clear();
     }
 }
 
@@ -369,6 +388,10 @@ pub(crate) struct ShardMigration {
     /// 64): enough to see beyond the resident set without letting a scan
     /// grow the tracker without bound.
     pub(crate) track_cap: usize,
+    /// Reused scratch for the round's resident sweep, so a shard-sized
+    /// `Vec` is not reallocated every migration round. Cleared before
+    /// each use; contents between rounds are meaningless.
+    pub(crate) resident_scratch: Vec<(u64, BlockAddr)>,
 }
 
 impl ShardMigration {
@@ -382,6 +405,7 @@ impl ShardMigration {
             pending_demote: HashSet::new(),
             rounds: 0,
             track_cap: capacity.saturating_mul(4).clamp(64, 1 << 20) as usize,
+            resident_scratch: Vec::new(),
         }
     }
 

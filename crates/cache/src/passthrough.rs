@@ -2,11 +2,13 @@
 //! SSD-only (the paper's ideal case).
 //!
 //! Both ignore the DSS classification entirely — they are legacy block
-//! devices. Their statistics live behind a mutex so the `&self`
-//! [`StorageSystem`] interface can be served to concurrent callers; the
-//! devices themselves are already interior-mutable.
+//! devices. Their statistics are enum-indexed counter arrays
+//! ([`LocalCacheStats`]) behind a mutex so the `&self` [`StorageSystem`]
+//! interface can be served to concurrent callers without the hot path
+//! walking a `BTreeMap`; the devices themselves are already
+//! interior-mutable.
 
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, LocalCacheStats};
 use crate::system::StorageSystem;
 use hstorage_storage::{
     ClassifiedRequest, HddDevice, SimClock, SsdDevice, StorageDevice, TrimCommand,
@@ -18,7 +20,7 @@ use std::time::Duration;
 pub struct HddOnly {
     clock: SimClock,
     hdd: HddDevice,
-    stats: Mutex<CacheStats>,
+    stats: Mutex<LocalCacheStats>,
 }
 
 impl HddOnly {
@@ -34,7 +36,7 @@ impl HddOnly {
         HddOnly {
             hdd,
             clock,
-            stats: Mutex::new(CacheStats::new()),
+            stats: Mutex::new(LocalCacheStats::new()),
         }
     }
 }
@@ -58,7 +60,7 @@ impl StorageSystem for HddOnly {
     fn trim(&self, _cmd: &TrimCommand) {}
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.lock().clone();
+        let mut s = self.stats.lock().snapshot();
         s.hdd = Some(self.hdd.stats());
         s
     }
@@ -68,7 +70,7 @@ impl StorageSystem for HddOnly {
     }
 
     fn reset_stats(&self) {
-        *self.stats.lock() = CacheStats::new();
+        self.stats.lock().reset();
         self.hdd.reset_stats();
     }
 }
@@ -77,7 +79,7 @@ impl StorageSystem for HddOnly {
 pub struct SsdOnly {
     clock: SimClock,
     ssd: SsdDevice,
-    stats: Mutex<CacheStats>,
+    stats: Mutex<LocalCacheStats>,
 }
 
 impl SsdOnly {
@@ -93,7 +95,7 @@ impl SsdOnly {
         SsdOnly {
             ssd,
             clock,
-            stats: Mutex::new(CacheStats::new()),
+            stats: Mutex::new(LocalCacheStats::new()),
         }
     }
 }
@@ -117,7 +119,7 @@ impl StorageSystem for SsdOnly {
     fn trim(&self, _cmd: &TrimCommand) {}
 
     fn stats(&self) -> CacheStats {
-        let mut s = self.stats.lock().clone();
+        let mut s = self.stats.lock().snapshot();
         s.ssd = Some(self.ssd.stats());
         s
     }
@@ -127,7 +129,7 @@ impl StorageSystem for SsdOnly {
     }
 
     fn reset_stats(&self) {
-        *self.stats.lock() = CacheStats::new();
+        self.stats.lock().reset();
         self.ssd.reset_stats();
     }
 }

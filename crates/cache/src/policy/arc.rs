@@ -30,16 +30,16 @@
 use crate::policy::{CachePolicy, GhostList, HitOutcome, PolicyRequest, RemoveReason};
 use hstorage_storage::{BlockAddr, CachePriority};
 
-use crate::lru::LruList;
+use crate::lru::{ListBackend, LruList};
 
 /// The self-tuning recency/frequency policy. Invariants (asserted by the
 /// property tests): `|T1| + |T2| ≤ c`, `p ∈ [0, c]`, `|B1| ≤ c`,
 /// `|B2| ≤ c`.
 pub struct ArcPolicy {
     /// Resident blocks seen exactly once since entering the cache.
-    t1: LruList<BlockAddr>,
+    t1: LruList,
     /// Resident blocks seen at least twice (the frequency-protected set).
-    t2: LruList<BlockAddr>,
+    t2: LruList,
     /// Ghost directory of recent `T1` evictions.
     b1: GhostList,
     /// Ghost directory of recent `T2` evictions.
@@ -57,12 +57,17 @@ impl ArcPolicy {
     /// Creates the policy for a shard of `shard_capacity` slots. Each
     /// ghost directory remembers up to `c` addresses.
     pub fn new(shard_capacity: u64) -> Self {
+        Self::new_backed(shard_capacity, ListBackend::default())
+    }
+
+    /// Creates the policy on an explicit interior backend.
+    pub fn new_backed(shard_capacity: u64, backend: ListBackend) -> Self {
         let capacity = (shard_capacity.max(1)) as usize;
         ArcPolicy {
-            t1: LruList::new(),
-            t2: LruList::new(),
-            b1: GhostList::new(capacity),
-            b2: GhostList::new(capacity),
+            t1: LruList::with_backend(backend),
+            t2: LruList::with_backend(backend),
+            b1: GhostList::with_backend(capacity, backend),
+            b2: GhostList::with_backend(capacity, backend),
             capacity,
             p: 0,
             adapted: None,

@@ -7,10 +7,10 @@
 //! plain LRU block (dirty or not) when the whole window is dirty. Recency
 //! handling is otherwise identical to LRU.
 
-use crate::lru::LruList;
+use crate::lru::{ListBackend, LruList};
 use crate::policy::{CachePolicy, HitOutcome, PolicyRequest};
+use crate::table::OpenMap;
 use hstorage_storage::{BlockAddr, CachePriority, Direction};
-use std::collections::HashSet;
 
 /// Write-aware LRU: prefers clean victims inside a clean-first window to
 /// save dirty write-backs, trading a slightly worse hit ratio for less
@@ -21,8 +21,10 @@ use std::collections::HashSet;
 /// the cache — which mirrors the engine's clean/dirty metadata exactly
 /// (resident blocks are never cleaned in place).
 pub struct CflruPolicy {
-    stack: LruList<BlockAddr>,
-    dirty: HashSet<BlockAddr>,
+    stack: LruList,
+    /// Dirty-address set (contains-only, so the flat open-addressing map
+    /// serves both backends — membership queries are order-free).
+    dirty: OpenMap<()>,
     /// How many blocks from the LRU end are searched for a clean victim
     /// before falling back to plain LRU.
     window: usize,
@@ -43,11 +45,16 @@ impl CflruPolicy {
     /// Creates the policy with an explicit clean-first window, given as an
     /// integer percentage of `shard_capacity` (floored, minimum 1 block).
     pub fn with_window(shard_capacity: u64, window_pct: u8) -> Self {
+        Self::with_window_backed(shard_capacity, window_pct, ListBackend::default())
+    }
+
+    /// Creates the policy with an explicit window and interior backend.
+    pub fn with_window_backed(shard_capacity: u64, window_pct: u8, backend: ListBackend) -> Self {
         let window =
             ((shard_capacity as f64 * (window_pct as f64 / 100.0)).floor() as usize).max(1);
         CflruPolicy {
-            stack: LruList::new(),
-            dirty: HashSet::new(),
+            stack: LruList::with_backend(backend),
+            dirty: OpenMap::new(),
             window,
         }
     }
@@ -67,7 +74,7 @@ impl CachePolicy for CflruPolicy {
     ) -> HitOutcome {
         self.stack.touch(&lbn);
         if req.direction == Direction::Write {
-            self.dirty.insert(lbn);
+            self.dirty.insert(lbn.0, ());
         }
         HitOutcome::Unchanged
     }
@@ -92,7 +99,7 @@ impl CachePolicy for CflruPolicy {
         self.stack
             .iter_lru()
             .take(self.window)
-            .find(|lbn| !self.dirty.contains(lbn))
+            .find(|lbn| !self.dirty.contains(lbn.0))
             .copied()
             .or_else(|| self.stack.peek_lru().copied())
     }
@@ -103,14 +110,14 @@ impl CachePolicy for CflruPolicy {
         // dirty bit, so an inserted block is clean unless this request
         // writes it.
         if req.direction == Direction::Write {
-            self.dirty.insert(lbn);
+            self.dirty.insert(lbn.0, ());
         }
         req.prio
     }
 
     fn on_remove(&mut self, lbn: BlockAddr, _group: CachePriority) {
         self.stack.remove(&lbn);
-        self.dirty.remove(&lbn);
+        self.dirty.remove(lbn.0);
     }
 }
 

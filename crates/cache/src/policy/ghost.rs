@@ -11,13 +11,13 @@
 //!
 //! A ghost entry holds **no cache space**; only the address is remembered.
 
-use crate::lru::LruList;
+use crate::lru::{ListBackend, LruList};
 use hstorage_storage::BlockAddr;
 
 /// A capacity-bounded FIFO/LRU of remembered block addresses.
 #[derive(Debug, Clone)]
 pub struct GhostList {
-    list: LruList<BlockAddr>,
+    list: LruList,
     capacity: usize,
 }
 
@@ -26,8 +26,13 @@ impl GhostList {
     /// addresses. A capacity of 0 remembers nothing (every
     /// [`GhostList::remember`] is immediately aged out).
     pub fn new(capacity: usize) -> Self {
+        Self::with_backend(capacity, ListBackend::default())
+    }
+
+    /// Creates an empty ghost list on an explicit interior backend.
+    pub fn with_backend(capacity: usize, backend: ListBackend) -> Self {
         GhostList {
-            list: LruList::new(),
+            list: LruList::with_backend(backend),
             capacity,
         }
     }

@@ -24,13 +24,14 @@
 //! is owned by the inner the buffer drain visits and the engine's
 //! occupancy accounting can never strand.
 
+use crate::lru::ListBackend;
 use crate::policy::{
     ArcPolicy, CachePolicy, CflruPolicy, HitOutcome, LruPolicy, PolicyRequest, RemoveReason,
     SemanticPriorityPolicy, TwoQPolicy,
 };
+use crate::table::OpenMap;
 use hstorage_storage::{BlockAddr, CachePriority, PolicyConfig, RequestClass};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A leaf policy assignable to one stream of the compositor — every
@@ -129,16 +130,30 @@ impl StreamPolicyKind {
     ///
     /// [`CachePolicyKind::build`]: crate::policy::CachePolicyKind::build
     pub fn build(&self, config: &PolicyConfig, shard_capacity: u64) -> Box<dyn CachePolicy> {
+        self.build_backed(config, shard_capacity, ListBackend::default())
+    }
+
+    /// Like [`StreamPolicyKind::build`], on an explicit interior backend.
+    pub fn build_backed(
+        &self,
+        config: &PolicyConfig,
+        shard_capacity: u64,
+        backend: ListBackend,
+    ) -> Box<dyn CachePolicy> {
         match self {
-            StreamPolicyKind::SemanticPriority => Box::new(SemanticPriorityPolicy::new(*config)),
-            StreamPolicyKind::Lru => Box::new(LruPolicy::new()),
-            StreamPolicyKind::Cflru { window_pct } => {
-                Box::new(CflruPolicy::with_window(shard_capacity, *window_pct))
+            StreamPolicyKind::SemanticPriority => {
+                Box::new(SemanticPriorityPolicy::new_backed(*config, backend))
             }
-            StreamPolicyKind::TwoQ { kin_pct, kout_pct } => {
-                Box::new(TwoQPolicy::with_knobs(shard_capacity, *kin_pct, *kout_pct))
-            }
-            StreamPolicyKind::Arc => Box::new(ArcPolicy::new(shard_capacity)),
+            StreamPolicyKind::Lru => Box::new(LruPolicy::with_backend(backend)),
+            StreamPolicyKind::Cflru { window_pct } => Box::new(CflruPolicy::with_window_backed(
+                shard_capacity,
+                *window_pct,
+                backend,
+            )),
+            StreamPolicyKind::TwoQ { kin_pct, kout_pct } => Box::new(
+                TwoQPolicy::with_knobs_backed(shard_capacity, *kin_pct, *kout_pct, backend),
+            ),
+            StreamPolicyKind::Arc => Box::new(ArcPolicy::new_backed(shard_capacity, backend)),
         }
     }
 }
@@ -246,8 +261,9 @@ pub struct PerStreamPolicy {
     /// Index of the write-buffering inner, if the routing has one: every
     /// request resolving to group 0 routes here irrespective of class.
     buffering: Option<usize>,
-    /// Which inner tracks each resident block.
-    owner: HashMap<BlockAddr, usize>,
+    /// Which inner tracks each resident block (contains/point lookups
+    /// only, so the flat open-addressing map serves both backends).
+    owner: OpenMap<u32>,
     /// Resident block count per inner (drives victim-stealing fallback).
     owned: Vec<usize>,
 }
@@ -257,6 +273,17 @@ impl PerStreamPolicy {
     /// `routing` (see [`StreamRouting::validate`]) — the configuration
     /// layers validate earlier, but direct construction is checked too.
     pub fn new(config: PolicyConfig, shard_capacity: u64, routing: StreamRouting) -> Self {
+        Self::new_backed(config, shard_capacity, routing, ListBackend::default())
+    }
+
+    /// Builds the compositor on an explicit interior backend (threaded
+    /// into every inner policy).
+    pub fn new_backed(
+        config: PolicyConfig,
+        shard_capacity: u64,
+        routing: StreamRouting,
+        backend: ListBackend,
+    ) -> Self {
         routing
             .validate()
             .expect("invalid per-stream routing configuration");
@@ -281,7 +308,7 @@ impl PerStreamPolicy {
         }
         let inners: Vec<Box<dyn CachePolicy>> = kinds
             .iter()
-            .map(|k| k.build(&config, shard_capacity))
+            .map(|k| k.build_backed(&config, shard_capacity, backend))
             .collect();
         let buffering = inners
             .iter()
@@ -291,7 +318,7 @@ impl PerStreamPolicy {
             inners,
             route,
             buffering,
-            owner: HashMap::new(),
+            owner: OpenMap::new(),
             owned,
         }
     }
@@ -339,8 +366,8 @@ impl CachePolicy for PerStreamPolicy {
         // request may differ from the class that inserted the block (a
         // scan re-reading random-cached pages must not consult the wrong
         // inner).
-        match self.owner.get(&lbn) {
-            Some(&idx) => self.inners[idx].on_hit(lbn, current, req),
+        match self.owner.get(lbn.0) {
+            Some(&idx) => self.inners[idx as usize].on_hit(lbn, current, req),
             None => {
                 debug_assert!(false, "hit on unowned block {lbn:?}");
                 HitOutcome::Unchanged
@@ -375,8 +402,8 @@ impl CachePolicy for PerStreamPolicy {
         if self.owned[primary] > 0 {
             let victim = self.inners[primary].pop_victim(incoming, req)?;
             debug_assert_eq!(
-                self.owner.get(&victim),
-                Some(&primary),
+                self.owner.get(victim.0),
+                Some(&(primary as u32)),
                 "victim owned by its inner"
             );
             return Some(victim);
@@ -390,8 +417,8 @@ impl CachePolicy for PerStreamPolicy {
             // not tune `p` (or consume ghost state) for a foreign insert.
             if let Some(victim) = self.inners[idx].steal_victim(req) {
                 debug_assert_eq!(
-                    self.owner.get(&victim),
-                    Some(&idx),
+                    self.owner.get(victim.0),
+                    Some(&(idx as u32)),
                     "stolen victim owned by the robbed inner"
                 );
                 return Some(victim);
@@ -402,20 +429,22 @@ impl CachePolicy for PerStreamPolicy {
 
     fn on_insert(&mut self, lbn: BlockAddr, req: &PolicyRequest) -> CachePriority {
         let idx = self.route_for(req);
-        self.owner.insert(lbn, idx);
+        self.owner.insert(lbn.0, idx as u32);
         self.owned[idx] += 1;
         self.inners[idx].on_insert(lbn, req)
     }
 
     fn on_remove(&mut self, lbn: BlockAddr, group: CachePriority) {
-        if let Some(idx) = self.owner.remove(&lbn) {
+        if let Some(idx) = self.owner.remove(lbn.0) {
+            let idx = idx as usize;
             self.owned[idx] -= 1;
             self.inners[idx].on_remove(lbn, group);
         }
     }
 
     fn on_remove_reasoned(&mut self, lbn: BlockAddr, group: CachePriority, reason: RemoveReason) {
-        if let Some(idx) = self.owner.remove(&lbn) {
+        if let Some(idx) = self.owner.remove(lbn.0) {
+            let idx = idx as usize;
             self.owned[idx] -= 1;
             self.inners[idx].on_remove_reasoned(lbn, group, reason);
             if reason == RemoveReason::Trim {

@@ -9,21 +9,27 @@
 //! paper describes as a special priority that "wins" cache space over any
 //! other priority — i.e. it is evicted last.
 
-use crate::lru::LruList;
+use crate::lru::{ListBackend, LruList};
 use hstorage_storage::{BlockAddr, CachePriority};
 
 /// The set of per-priority LRU groups.
 #[derive(Debug, Clone)]
 pub struct PriorityGroups {
     /// `groups[k]` holds blocks of priority `k`; index 0 is the write buffer.
-    groups: Vec<LruList<BlockAddr>>,
+    groups: Vec<LruList>,
 }
 
 impl PriorityGroups {
     /// Creates groups for priorities `0..=total_priorities`.
     pub fn new(total_priorities: u8) -> Self {
+        Self::with_backend(total_priorities, ListBackend::default())
+    }
+
+    /// Creates groups for priorities `0..=total_priorities` on an explicit
+    /// interior backend.
+    pub fn with_backend(total_priorities: u8, backend: ListBackend) -> Self {
         let groups = (0..=total_priorities as usize)
-            .map(|_| LruList::new())
+            .map(|_| LruList::with_backend(backend))
             .collect();
         PriorityGroups { groups }
     }

@@ -415,6 +415,115 @@ impl AtomicCacheStats {
     }
 }
 
+/// Single-threaded twin of [`AtomicCacheStats`]: the same fixed
+/// enum-indexed counter arrays, on plain `u64`s behind `&mut self`, for
+/// systems that already serialize recording under one mutex (the LRU
+/// baseline cache and the passthrough configurations).
+///
+/// Recording is a bounds-checked array add — no `BTreeMap` walk, no key
+/// allocation — and the map-shaped [`CacheStats`] is rendered only at
+/// [`LocalCacheStats::snapshot`] time. Key-presence semantics match
+/// [`CacheStats`] exactly: a zero-amount record still creates its map
+/// entry in the snapshot (per-slot "seen" bitmasks).
+#[derive(Debug)]
+pub struct LocalCacheStats {
+    class_accessed: [u64; CLASS_SLOTS],
+    class_hits: [u64; CLASS_SLOTS],
+    class_seen: u64,
+    prio_accessed: [u64; PRIO_SLOTS],
+    prio_hits: [u64; PRIO_SLOTS],
+    prio_seen: [u64; PRIO_SLOTS / 64],
+    actions: [u64; ACTION_SLOTS],
+    actions_seen: u64,
+}
+
+impl Default for LocalCacheStats {
+    fn default() -> Self {
+        LocalCacheStats {
+            class_accessed: [0; CLASS_SLOTS],
+            class_hits: [0; CLASS_SLOTS],
+            class_seen: 0,
+            prio_accessed: [0; PRIO_SLOTS],
+            prio_hits: [0; PRIO_SLOTS],
+            prio_seen: [0; PRIO_SLOTS / 64],
+            actions: [0; ACTION_SLOTS],
+            actions_seen: 0,
+        }
+    }
+}
+
+impl LocalCacheStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `blocks` accessed of class `class`, of which `hits` were
+    /// served from cache. Equivalent to [`CacheStats::record_class`].
+    pub fn record_class(&mut self, class: RequestClass, blocks: u64, hits: u64) {
+        let i = class as usize;
+        self.class_seen |= 1 << i;
+        self.class_accessed[i] += blocks;
+        self.class_hits[i] += hits;
+    }
+
+    /// Records `blocks` accessed at priority `prio`, of which `hits` were
+    /// served from cache. Equivalent to [`CacheStats::record_priority`].
+    pub fn record_priority(&mut self, prio: u8, blocks: u64, hits: u64) {
+        let i = prio as usize;
+        self.prio_seen[i / 64] |= 1 << (i % 64);
+        self.prio_accessed[i] += blocks;
+        self.prio_hits[i] += hits;
+    }
+
+    /// Adds `blocks` to the counter of `action`. Equivalent to
+    /// [`CacheStats::record_action`] (including the zero-amount case).
+    pub fn record_action(&mut self, action: CacheAction, blocks: u64) {
+        let i = action.index();
+        self.actions_seen |= 1 << i;
+        self.actions[i] += blocks;
+    }
+
+    /// Materializes the counters as a [`CacheStats`] (no device statistics
+    /// and no residency — the owning system attaches both).
+    pub fn snapshot(&self) -> CacheStats {
+        let mut out = CacheStats::new();
+        for (i, class) in RequestClass::all().iter().enumerate() {
+            if self.class_seen & (1 << i) != 0 {
+                out.per_class.insert(
+                    class.label().to_string(),
+                    ClassCounters {
+                        accessed_blocks: self.class_accessed[i],
+                        cache_hits: self.class_hits[i],
+                    },
+                );
+            }
+        }
+        for i in 0..PRIO_SLOTS {
+            if self.prio_seen[i / 64] & (1 << (i % 64)) != 0 {
+                out.per_priority.insert(
+                    i as u8,
+                    ClassCounters {
+                        accessed_blocks: self.prio_accessed[i],
+                        cache_hits: self.prio_hits[i],
+                    },
+                );
+            }
+        }
+        for (i, action) in CacheAction::ALL.iter().enumerate() {
+            if self.actions_seen & (1 << i) != 0 {
+                out.actions.insert(format!("{action:?}"), self.actions[i]);
+            }
+        }
+        out
+    }
+
+    /// Zeroes every counter and every "seen" mask.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Exact-sample latency recorder with nearest-rank percentile queries.
 ///
 /// The service layer records one sample per completed request (simulated
@@ -827,6 +936,86 @@ mod tests {
         assert_eq!(a.contention.fast_path_hits, 1);
         assert!((b.contention.fast_path_rate() - 0.01).abs() < 1e-9);
         assert_eq!(ContentionCounters::default().fast_path_rate(), 0.0);
+    }
+
+    #[test]
+    fn local_stats_snapshot_matches_locked_recording() {
+        let mut local = LocalCacheStats::new();
+        let mut locked = CacheStats::new();
+        for (class, blocks, hits) in [
+            (RequestClass::Random, 100, 90),
+            (RequestClass::Random, 10, 0),
+            (RequestClass::Sequential, 1_000, 3),
+        ] {
+            local.record_class(class, blocks, hits);
+            locked.record_class(class, blocks, hits);
+        }
+        for (prio, blocks, hits) in [(2u8, 100, 90), (3, 10, 0), (2, 5, 5)] {
+            local.record_priority(prio, blocks, hits);
+            locked.record_priority(prio, blocks, hits);
+        }
+        for (action, blocks) in [
+            (CacheAction::CacheHit, 98),
+            (CacheAction::Eviction, 4),
+            (CacheAction::Trim, 0),
+        ] {
+            local.record_action(action, blocks);
+            locked.record_action(action, blocks);
+        }
+        assert_eq!(local.snapshot(), locked);
+        // Zero-amount records still create their keys, as in the map path.
+        assert!(local.snapshot().actions.contains_key("Trim"));
+        local.reset();
+        assert_eq!(local.snapshot(), CacheStats::new());
+    }
+
+    #[test]
+    fn enum_indexed_counters_render_the_exact_legacy_key_strings() {
+        // The enum-indexed hot-path counters are an internal layout
+        // change: the rendered snapshot is the wire format (serialized in
+        // bench reports and compared across versions), so the BTreeMap
+        // keys must stay byte-identical to the strings the old map-based
+        // recording produced. Both the atomic and the local twin are
+        // pinned here.
+        let atomic = AtomicCacheStats::new();
+        let mut local = LocalCacheStats::new();
+        for class in RequestClass::all() {
+            atomic.record_class(class, 1, 1);
+            local.record_class(class, 1, 1);
+        }
+        for action in CacheAction::ALL {
+            atomic.record_action(action, 1);
+            local.record_action(action, 1);
+        }
+        for prio in [0u8, 1, 2, 7, 255] {
+            atomic.record_priority(prio, 1, 0);
+            local.record_priority(prio, 1, 0);
+        }
+        for snap in [atomic.snapshot(), local.snapshot()] {
+            let classes: Vec<&str> = snap.per_class.keys().map(String::as_str).collect();
+            assert_eq!(
+                classes,
+                ["random", "sequential", "temp-trim", "temporary", "update"],
+                "per_class keys must keep the legacy label strings"
+            );
+            let actions: Vec<&str> = snap.actions.keys().map(String::as_str).collect();
+            assert_eq!(
+                actions,
+                [
+                    "Bypassing",
+                    "CacheHit",
+                    "Eviction",
+                    "ReAllocation",
+                    "ReadAllocation",
+                    "Trim",
+                    "WriteAllocation",
+                    "WriteBufferFlush",
+                ],
+                "actions keys must keep the legacy Debug-format strings"
+            );
+            let prios: Vec<u8> = snap.per_priority.keys().copied().collect();
+            assert_eq!(prios, [0, 1, 2, 7, 255]);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::HashSet;
 #[derive(Debug, Clone)]
 pub struct BufferPool {
     capacity: u64,
-    lru: LruList<BlockAddr>,
+    lru: LruList,
     resident: HashSet<BlockAddr>,
     hits: u64,
     misses: u64,
