@@ -59,7 +59,7 @@
 //! refresh. Wall-clock measurements are skipped entirely (they are
 //! preserved by `--update-baseline` anyway, so they cannot drift).
 
-use hstorage::experiments::tier_migration;
+use hstorage::experiments::{crash_recovery, tier_migration};
 use hstorage::report::{comparisons_from_json, comparisons_to_json, format_table, PaperComparison};
 use hstorage_bench::workload::{
     contended_hot_reads, drive, fresh_cache, interior_hit_read, interior_submits, mixed_policy_run,
@@ -321,6 +321,38 @@ fn main() {
         (
             "sim: tier-migration phase-shift hit-ratio gain, on/off (x)",
             tier.hit_gain(),
+        ),
+    ] {
+        measurements.push(Measurement {
+            metric: name.into(),
+            value,
+            gated: true,
+            deterministic: true,
+            lower_is_better: false,
+        });
+    }
+    // Crash recovery from the write-ahead journal: simulated, fully
+    // deterministic (fixed workload, fixed crash seeds). The replay-time
+    // row pins the cost of recovering the full log; the records row pins
+    // the log shape (framing or workload drift shows up here); the ratio
+    // row pins losslessness — full-log recovery must rebuild exactly the
+    // clean run's resident set.
+    let recovery = crash_recovery::run();
+    measurements.push(Measurement {
+        metric: "sim: recovery full-log replay time (sim-s)".into(),
+        value: recovery.full.replay_sim,
+        gated: true,
+        deterministic: true,
+        lower_is_better: true,
+    });
+    for (name, value) in [
+        (
+            "sim: recovery full-log records replayed",
+            recovery.full.records_replayed as f64,
+        ),
+        (
+            "sim: recovery blocks-recovered ratio, full log (1 = lossless)",
+            recovery.blocks_recovered_ratio(),
         ),
     ] {
         measurements.push(Measurement {

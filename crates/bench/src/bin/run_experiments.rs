@@ -15,16 +15,16 @@
 //! * `--only <name>` — run a single experiment instead of all of them
 //!   (repeatable). Names: `fig4`, `fig5`, `fig6`, `fig9`, `fig11`,
 //!   `table9`, `ablations`, `policy_comparison`, `policy_ablation`,
-//!   `tier_migration`. With `--check`, only the ratios of the selected
-//!   experiments are gated.
+//!   `tier_migration`, `crash_recovery`. With `--check`, only the ratios
+//!   of the selected experiments are gated.
 //! * `--report <path>` — additionally write the key ratios of the
 //!   experiments that ran as a JSON comparison file (the
 //!   `BENCH_report.json` row schema), so CI can upload the run as an
 //!   artifact.
 
 use hstorage::experiments::{
-    ablation, fig11, fig4, fig5, fig6, fig9, policy_ablation, policy_comparison, table9,
-    tier_migration,
+    ablation, crash_recovery, fig11, fig4, fig5, fig6, fig9, policy_ablation, policy_comparison,
+    table9, tier_migration,
 };
 use hstorage::report::{comparisons_to_json, PaperComparison};
 use hstorage_tpch::TpchScale;
@@ -222,6 +222,31 @@ fn experiments(single_scale: TpchScale, long_scale: TpchScale) -> Vec<Experiment
                         5.0,
                         tm.hdd_saving(),
                     ),
+                ]
+            }),
+        },
+        Experiment {
+            name: "crash_recovery",
+            banner: "Crash recovery (fault-injected journal replay)",
+            run: Box::new(move || {
+                let cr = crash_recovery::run();
+                println!("{cr}\n");
+                vec![
+                    // Recovery has no paper figure; the expectations are
+                    // the invariant itself — every crash point converges,
+                    // full-log recovery loses nothing and replays the
+                    // same simulated traffic.
+                    PaperComparison::new(
+                        "Crash-point convergence rate",
+                        1.0,
+                        cr.convergence_rate(),
+                    ),
+                    PaperComparison::new(
+                        "Blocks recovered from the full log",
+                        1.0,
+                        cr.blocks_recovered_ratio(),
+                    ),
+                    PaperComparison::new("Replay sim time vs clean run", 1.0, cr.sim_time_ratio()),
                 ]
             }),
         },

@@ -1,6 +1,7 @@
 //! Construction of the four storage configurations used in the evaluation.
 
 use crate::hybrid::HybridCache;
+use crate::journal::JournalConfig;
 use crate::lru_cache::LruCache;
 use crate::migration::MigrationConfig;
 use crate::passthrough::{HddOnly, SsdOnly};
@@ -93,6 +94,11 @@ pub struct StorageConfig {
     /// built engine bit-identical to one without a migration engine.
     /// Ignored by the passthrough and standalone-LRU kinds.
     pub migration: MigrationConfig,
+    /// Write-ahead journaling knobs for the hStorage-DB kind (see
+    /// [`crate::journal`]). The default is disabled, which leaves the
+    /// built engine bit-identical to one without a journal attached.
+    /// Ignored by the passthrough and standalone-LRU kinds.
+    pub journal: JournalConfig,
 }
 
 impl StorageConfig {
@@ -106,6 +112,7 @@ impl StorageConfig {
             queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
             migration: MigrationConfig::default(),
+            journal: JournalConfig::default(),
         }
     }
 
@@ -153,6 +160,15 @@ impl StorageConfig {
         self
     }
 
+    /// Overrides the write-ahead journaling knobs of the hStorage-DB cache
+    /// engine. Panics on out-of-range knobs so a misconfiguration fails at
+    /// description time, not at build time.
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        journal.validate().expect("invalid journal configuration");
+        self.journal = journal;
+        self
+    }
+
     /// Builds the storage system.
     pub fn build(&self) -> Box<dyn StorageSystem> {
         let clock = SimClock::new();
@@ -187,7 +203,8 @@ impl StorageConfig {
                     clock.clone(),
                 )
                 .with_cache_policy(self.cache_policy)
-                .with_migration(self.migration),
+                .with_migration(self.migration)
+                .with_journal(self.journal),
             ),
         }
     }
@@ -269,6 +286,22 @@ mod tests {
             .with_cache_policy(CachePolicyKind::per_stream())
             .build();
         assert_eq!(sys.name(), "hybrid-per-stream");
+    }
+
+    #[test]
+    fn journaling_defaults_off_and_rejects_bad_knobs_at_description_time() {
+        let config = StorageConfig::new(StorageConfigKind::HStorageDb, 256);
+        assert!(!config.journal.enabled);
+        let _ = config.with_journal(JournalConfig::on()).build();
+        let bad = std::panic::catch_unwind(|| {
+            StorageConfig::new(StorageConfigKind::HStorageDb, 256)
+                .with_journal(JournalConfig::on().with_commit_interval(1))
+                .with_journal(JournalConfig {
+                    enabled: true,
+                    commit_interval: 0,
+                })
+        });
+        assert!(bad.is_err(), "zero commit interval must be rejected");
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! [`crate::ContentionCounters`] reports how often each path was taken.
 
 use crate::allocator::SlotAllocator;
+use crate::journal::{Journal, JournalConfig, JournalOp, JournalSnapshot};
 use crate::lru::ListBackend;
 use crate::metadata::{BlockState, CacheEntry, CacheMetadata};
 use crate::migration::{MigrationConfig, MigrationCounters, MigrationStats, ShardMigration};
@@ -750,6 +751,11 @@ pub struct CacheEngine {
     /// compare-exchange on this mark, so concurrent callers never
     /// double-run a round.
     idle_mark: AtomicU64,
+    /// The [`Self::with_journal`] knob set (default: disabled). `None`
+    /// while journaling is off, so the disabled engine carries no
+    /// journal state at all.
+    journal_config: JournalConfig,
+    journal: Option<Journal>,
     clock: SimClock,
     ssd: SsdDevice,
     hdd: HddDevice,
@@ -858,6 +864,8 @@ impl CacheEngine {
             migration_rounds: AtomicU64::new(0),
             migration_skipped: AtomicU64::new(0),
             idle_mark: AtomicU64::new(0),
+            journal_config: JournalConfig::default(),
+            journal: None,
             clock,
             ssd,
             hdd,
@@ -1019,6 +1027,98 @@ impl CacheEngine {
     /// The tier-migration configuration in force.
     pub fn migration_config(&self) -> MigrationConfig {
         self.migration
+    }
+
+    /// Configures the write-ahead journal (see [`JournalConfig`] and the
+    /// [`crate::journal`] module docs). Must be called before any traffic
+    /// is submitted; the default — and [`JournalConfig::off`] — leaves
+    /// the engine bit-identical to one built without a journal. Enabled,
+    /// every [`StorageSystem`] mutation is logged write-ahead with batch
+    /// begin/commit framing, and [`Self::journal_snapshot`] exposes the
+    /// simulated persistent image for [`crate::recovery`].
+    pub fn with_journal(mut self, config: JournalConfig) -> Self {
+        config.validate().expect("invalid journal configuration");
+        for shard in &mut self.shards {
+            assert!(
+                shard.view.get_mut().meta.is_empty(),
+                "journaling must be configured before submitting traffic"
+            );
+        }
+        self.journal_config = config;
+        self.journal = config.enabled.then(|| Journal::new(config));
+        self
+    }
+
+    /// The journal configuration in force.
+    pub fn journal_config(&self) -> JournalConfig {
+        self.journal_config
+    }
+
+    /// Number of records in the attached journal (0 with journaling
+    /// disabled).
+    pub fn journal_len(&self) -> usize {
+        self.journal.as_ref().map_or(0, Journal::len)
+    }
+
+    /// The current image of the attached journal — what the simulated
+    /// persistent device holds right now — or `None` with journaling
+    /// disabled. Feed it (optionally through
+    /// [`JournalSnapshot::crash_at`]) to [`crate::recovery::recover`].
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.journal.as_ref().map(Journal::snapshot)
+    }
+
+    /// Commits any open journal batch (a clean shutdown of the group
+    /// commit window). No-op with journaling disabled.
+    pub fn journal_seal(&self) {
+        if let Some(journal) = &self.journal {
+            journal.seal();
+        }
+    }
+
+    /// The resident set as `(lbn, priority, dirty)` triples, sorted by
+    /// block address — the recovery suite's convergence fingerprint.
+    /// Takes each shard's read view in turn.
+    pub fn resident_set(&self) -> Vec<(BlockAddr, CachePriority, bool)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let view = shard.view.read();
+            for (lbn, entry) in view.meta.iter() {
+                out.push((lbn, entry.priority, entry.is_dirty()));
+            }
+        }
+        out.sort_unstable_by_key(|(lbn, _, _)| lbn.0);
+        out
+    }
+
+    /// The migration heat learned for `lbn` so far (0 with migration
+    /// disabled). Pending fast-path heat that has not yet been folded
+    /// into the tracker — see [`Self::reset_stats`] and the migration
+    /// round — is not included.
+    pub fn learned_heat(&self, lbn: BlockAddr) -> u64 {
+        let shard = self.shard(lbn);
+        let inner = shard.inner.lock();
+        inner.migration.as_ref().map_or(0, |mig| mig.heat.heat(lbn))
+    }
+
+    /// Every block with non-zero learned heat as `(lbn, heat)` pairs,
+    /// sorted by block address (empty with migration disabled) — the
+    /// recovery suite's heat fingerprint.
+    pub fn heat_snapshot(&self) -> Vec<(BlockAddr, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            if let Some(mig) = inner.migration.as_ref() {
+                out.extend(
+                    mig.heat
+                        .iter()
+                        .filter(|(_, heat)| **heat > 0)
+                        .map(|(lbn, heat)| (*lbn, *heat)),
+                );
+            }
+        }
+        out.sort_unstable_by_key(|(lbn, _)| lbn.0);
+        out
     }
 
     /// The `{N, t, b}` policy configuration in force.
@@ -1195,7 +1295,9 @@ impl CacheEngine {
     fn submit_run(&self, reqs: &[ClassifiedRequest]) {
         match reqs {
             [] => return,
-            [one] => return self.submit(*one),
+            // Straight to the unbatched path, below the journal wrapper:
+            // the run is always part of an already-journaled operation.
+            [one] => return self.submit_inner(*one),
             _ => {}
         }
         let preqs: Vec<PolicyRequest> = reqs.iter().map(|r| self.policy_request(r)).collect();
@@ -1292,7 +1394,7 @@ impl CacheEngine {
     /// dirty buffered blocks are written to the HDD and the buffer space is
     /// returned to the cache.
     fn maybe_flush_write_buffers(&self) {
-        for shard in &self.shards {
+        for (idx, shard) in self.shards.iter().enumerate() {
             // Lock-free occupancy screen. Occupancy only moves under the
             // stripe mutex and the thread that pushed it over the limit
             // sees its own increment here, so a needed flush is never
@@ -1307,6 +1409,12 @@ impl CacheEngine {
             drop(view);
             drop(inner);
             if let Some(dirty_blocks) = drained {
+                // The drain tore down the buffer inside the enclosing
+                // journal batch; the note marks the torn-drain window the
+                // fault-injection suite crashes into. Never replayed.
+                if let Some(journal) = &self.journal {
+                    journal.note_drain(idx, dirty_blocks);
+                }
                 if dirty_blocks > 0 {
                     // The flush is a large, mostly sequential transfer.
                     self.hdd
@@ -1315,14 +1423,25 @@ impl CacheEngine {
             }
         }
     }
-}
 
-impl StorageSystem for CacheEngine {
-    fn name(&self) -> &str {
-        &self.name
+    /// Runs one journaled operation: appends `op` write-ahead (opening a
+    /// batch if needed), executes `body`, then marks the operation done —
+    /// committing the batch once it holds `commit_interval` operations.
+    /// With journaling disabled this is exactly `body()`.
+    fn journaled<T>(&self, op: impl FnOnce() -> JournalOp, body: impl FnOnce() -> T) -> T {
+        match &self.journal {
+            None => body(),
+            Some(journal) => {
+                journal.op_begin(op());
+                let out = body();
+                journal.op_end();
+                out
+            }
+        }
     }
 
-    fn submit(&self, req: ClassifiedRequest) {
+    /// [`StorageSystem::submit`] below the journal wrapper.
+    fn submit_inner(&self, req: ClassifiedRequest) {
         let preq = self.policy_request(&req);
         if self.try_fast_read_hit(&req, &preq) {
             return;
@@ -1368,10 +1487,11 @@ impl StorageSystem for CacheEngine {
         }
     }
 
-    fn submit_batch(&self, reqs: Vec<ClassifiedRequest>) {
+    /// [`StorageSystem::submit_batch`] below the journal wrapper.
+    fn submit_batch_inner(&self, reqs: Vec<ClassifiedRequest>) {
         if reqs.len() <= 1 {
             if let Some(req) = reqs.into_iter().next() {
-                self.submit(req);
+                self.submit_inner(req);
             }
             return;
         }
@@ -1390,7 +1510,7 @@ impl StorageSystem for CacheEngine {
             if self.config.resolve(req.policy) == CachePriority(0) {
                 self.submit_run(&run);
                 run.clear();
-                self.submit(req);
+                self.submit_inner(req);
             } else {
                 run.push(req);
             }
@@ -1398,7 +1518,38 @@ impl StorageSystem for CacheEngine {
         self.submit_run(&run);
     }
 
-    fn trim(&self, cmd: &TrimCommand) {
+    /// [`StorageSystem::reset_stats`] below the journal wrapper. Before
+    /// the counters clear, any heat the optimistic fast path accumulated
+    /// is folded into the migration tracker, so learned heat survives
+    /// the reset instead of riding a side-counter whose hot descriptor a
+    /// later slow-path visit may invalidate (which would drop it at the
+    /// next round's fold).
+    fn reset_stats_inner(&self) {
+        if self.migration.enabled {
+            for shard in &self.shards {
+                if shard.fast_heat.load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                let (mut inner, view) = shard.lock_for_write();
+                if let Some(hot) = view.hot {
+                    let fast_hits = shard.fast_heat.swap(0, Ordering::Relaxed);
+                    if fast_hits > 0 {
+                        if let Some(mig) = inner.migration.as_mut() {
+                            mig.heat.record_n(hot.lbn, fast_hits);
+                        }
+                    }
+                }
+            }
+        }
+        for shard in &self.shards {
+            shard.stats.reset();
+        }
+        self.ssd.reset_stats();
+        self.hdd.reset_stats();
+    }
+
+    /// [`StorageSystem::trim`] below the journal wrapper.
+    fn trim_inner(&self, cmd: &TrimCommand) {
         for range in &cmd.ranges {
             let mut blocks_iter = range.iter().peekable();
             while let Some(lbn) = blocks_iter.next() {
@@ -1418,6 +1569,37 @@ impl StorageSystem for CacheEngine {
                 }
             }
         }
+    }
+}
+
+impl StorageSystem for CacheEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&self, req: ClassifiedRequest) {
+        self.journaled(|| JournalOp::Submit(req), || self.submit_inner(req));
+    }
+
+    fn submit_batch(&self, reqs: Vec<ClassifiedRequest>) {
+        match &self.journal {
+            // The clone of the request vector is paid only with
+            // journaling on; disabled, the batch moves straight through.
+            None => self.submit_batch_inner(reqs),
+            Some(journal) => {
+                // One record for the whole batch: the batched path merges
+                // adjacent device transfers, so replaying it as
+                // individual submits would diverge from the original
+                // device timing.
+                journal.op_begin(JournalOp::SubmitBatch(reqs.clone()));
+                self.submit_batch_inner(reqs);
+                journal.op_end();
+            }
+        }
+    }
+
+    fn trim(&self, cmd: &TrimCommand) {
+        self.journaled(|| JournalOp::Trim(cmd.clone()), || self.trim_inner(cmd));
     }
 
     fn stats(&self) -> CacheStats {
@@ -1440,11 +1622,7 @@ impl StorageSystem for CacheEngine {
     }
 
     fn reset_stats(&self) {
-        for shard in &self.shards {
-            shard.stats.reset();
-        }
-        self.ssd.reset_stats();
-        self.hdd.reset_stats();
+        self.journaled(|| JournalOp::StatsReset, || self.reset_stats_inner());
     }
 
     fn resident_blocks(&self) -> u64 {
@@ -1456,8 +1634,30 @@ impl StorageSystem for CacheEngine {
 
     fn migrate_idle(&self) -> MigrationStats {
         if !self.migration.enabled {
+            // A pulse without a migration engine is a pure no-op on both
+            // sides of a crash, so it is not worth a journal record.
             return self.migration_stats();
         }
+        self.journaled(|| JournalOp::MigrationPulse, || self.migrate_idle_inner())
+    }
+
+    fn migration_stats(&self) -> MigrationStats {
+        let mut stats = MigrationStats {
+            rounds: self.migration_rounds.load(Ordering::Relaxed),
+            skipped_rounds: self.migration_skipped.load(Ordering::Relaxed),
+            ..MigrationStats::default()
+        };
+        for shard in &self.shards {
+            shard.migration_counters.add_into(&mut stats);
+        }
+        stats
+    }
+}
+
+impl CacheEngine {
+    /// [`StorageSystem::migrate_idle`] below the journal wrapper (only
+    /// reached with migration enabled).
+    fn migrate_idle_inner(&self) -> MigrationStats {
         // The gate is the *sum* of both devices' accrued idle time: it is
         // monotone and grows whenever either device sits idle while the
         // other serves, so rounds keep firing even when one device is
@@ -1520,18 +1720,6 @@ impl StorageSystem for CacheEngine {
             ));
         }
         self.migration_stats()
-    }
-
-    fn migration_stats(&self) -> MigrationStats {
-        let mut stats = MigrationStats {
-            rounds: self.migration_rounds.load(Ordering::Relaxed),
-            skipped_rounds: self.migration_skipped.load(Ordering::Relaxed),
-            ..MigrationStats::default()
-        };
-        for shard in &self.shards {
-            shard.migration_counters.add_into(&mut stats);
-        }
-        stats
     }
 }
 
@@ -2418,5 +2606,60 @@ mod tests {
         // hot again and cancels the queue entry.
         c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
         assert_eq!(c.migration_stats().cancelled_demotions, 1);
+    }
+
+    #[test]
+    fn journaling_is_off_by_default() {
+        let c = engine(CachePolicyKind::SemanticPriority, 16);
+        assert!(!c.journal_config().enabled);
+        assert_eq!(c.journal_len(), 0);
+        assert!(c.journal_snapshot().is_none());
+        c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
+        assert_eq!(c.journal_len(), 0, "no journal attached, nothing recorded");
+    }
+
+    #[test]
+    fn the_journal_frames_each_engine_op_in_a_batch() {
+        let c = engine(CachePolicyKind::SemanticPriority, 16).with_journal(JournalConfig::on());
+        c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
+        c.trim(&TrimCommand::new(vec![BlockRange::new(1u64, 1)]));
+        // Two ops at commit interval 1: two begin/op/commit triples.
+        assert_eq!(c.journal_len(), 6);
+        let records = c.journal_snapshot().expect("journal attached");
+        assert!(matches!(
+            records.records()[1],
+            crate::journal::JournalRecord::Op(JournalOp::Submit(_))
+        ));
+        assert!(matches!(
+            records.records()[4],
+            crate::journal::JournalRecord::Op(JournalOp::Trim(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "journaling must be configured before submitting traffic")]
+    fn the_journal_cannot_be_attached_to_a_warm_engine() {
+        let c = engine(CachePolicyKind::SemanticPriority, 16);
+        c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
+        let _ = c.with_journal(JournalConfig::on());
+    }
+
+    #[test]
+    fn reset_stats_preserves_learned_heat() {
+        let c = engine(CachePolicyKind::SemanticPriority, 16)
+            .with_migration(MigrationConfig::on().with_idle_threshold(Duration::from_secs(3600)));
+        // Two slow-path accesses record heat directly; the third rides the
+        // hot fast path and parks one pending count in `fast_heat`.
+        for _ in 0..3 {
+            c.submit(read_req(1, 1, RequestClass::Random, QosPolicy::priority(2)));
+        }
+        assert_eq!(c.learned_heat(BlockAddr(1)), 2);
+        assert!(c.stats().action(CacheAction::CacheHit) > 0);
+        c.reset_stats();
+        // The counters are gone but the learned heat survived — including
+        // the pending fast-path hit, folded in rather than dropped.
+        assert_eq!(c.stats().action(CacheAction::CacheHit), 0);
+        assert_eq!(c.learned_heat(BlockAddr(1)), 3);
+        assert_eq!(c.heat_snapshot(), vec![(BlockAddr(1), 3)]);
     }
 }

@@ -34,6 +34,7 @@ pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod hybrid;
+pub mod journal;
 pub mod lru;
 pub mod lru_cache;
 pub mod metadata;
@@ -41,6 +42,7 @@ pub mod migration;
 pub mod passthrough;
 pub mod policy;
 pub mod priority_group;
+pub mod recovery;
 pub mod stats;
 pub mod system;
 pub mod table;
@@ -50,6 +52,7 @@ pub use arena::{ListArena, ListHandle};
 pub use config::{StorageConfig, StorageConfigKind};
 pub use engine::CacheEngine;
 pub use hybrid::HybridCache;
+pub use journal::{Journal, JournalConfig, JournalOp, JournalRecord, JournalSnapshot};
 pub use lru::ListBackend;
 pub use lru_cache::LruCache;
 pub use migration::{HeatTracker, MigrationConfig, MigrationStats};
@@ -57,6 +60,10 @@ pub use passthrough::{HddOnly, SsdOnly};
 pub use policy::{
     CachePolicy, CachePolicyKind, HitOutcome, PolicyRequest, RemoveReason, StreamPolicyKind,
     StreamRouting,
+};
+pub use recovery::{
+    apply_op, crash_offset, recover, replay_plan, verify_convergence, RecoveryError,
+    RecoveryOutcome, ReplayPlan,
 };
 pub use stats::{
     AtomicCacheStats, CacheAction, CacheStats, ClassCounters, ContentionCounters, LatencyHistogram,

@@ -1,7 +1,9 @@
 //! System configuration: which storage configuration to run, at what scale,
 //! with which cache / buffer-pool sizes.
 
-use hstorage_cache::{CachePolicyKind, MigrationConfig, StorageConfig, StorageConfigKind};
+use hstorage_cache::{
+    CachePolicyKind, JournalConfig, MigrationConfig, StorageConfig, StorageConfigKind,
+};
 use hstorage_engine::ExecutorConfig;
 use hstorage_storage::PolicyConfig;
 use hstorage_tpch::TpchScale;
@@ -43,6 +45,11 @@ pub struct SystemConfig {
     /// [`hstorage_cache::migration`]). Disabled by default; ignored by
     /// the non-engine storage kinds.
     pub migration: MigrationConfig,
+    /// Write-ahead journaling knobs of the hStorage-DB cache engine (see
+    /// [`hstorage_cache::journal`]). Disabled by default — the engine is
+    /// then bit-identical to one without a journal — and ignored by the
+    /// non-engine storage kinds.
+    pub journal: JournalConfig,
 }
 
 impl SystemConfig {
@@ -68,6 +75,7 @@ impl SystemConfig {
             storage_queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
             migration: MigrationConfig::default(),
+            journal: JournalConfig::default(),
         }
     }
 
@@ -91,6 +99,7 @@ impl SystemConfig {
             storage_queue_depth: 1,
             cache_policy: CachePolicyKind::default(),
             migration: MigrationConfig::default(),
+            journal: JournalConfig::default(),
         }
     }
 
@@ -149,6 +158,15 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the write-ahead journaling knobs of the hStorage-DB cache
+    /// engine. Panics on out-of-range knobs, like
+    /// [`StorageConfig::with_journal`].
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        journal.validate().expect("invalid journal configuration");
+        self.journal = journal;
+        self
+    }
+
     /// The storage configuration descriptor implied by this system config.
     pub fn storage_config(&self) -> StorageConfig {
         StorageConfig::new(self.storage_kind, self.cache_blocks)
@@ -157,6 +175,7 @@ impl SystemConfig {
             .with_queue_depth(self.storage_queue_depth)
             .with_cache_policy(self.cache_policy)
             .with_migration(self.migration)
+            .with_journal(self.journal)
     }
 }
 
@@ -201,6 +220,15 @@ mod tests {
             swapped.storage_config().cache_policy,
             CachePolicyKind::cflru()
         );
+    }
+
+    #[test]
+    fn journaling_defaults_off_and_threads_through() {
+        let cfg = SystemConfig::single_query(TpchScale::new(0.05), StorageConfigKind::HStorageDb);
+        assert!(!cfg.journal.enabled);
+        assert!(!cfg.storage_config().journal.enabled);
+        let journaled = cfg.with_journal(JournalConfig::on().with_commit_interval(4));
+        assert_eq!(journaled.storage_config().journal.commit_interval, 4);
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! | [`policy_comparison`] | One cache engine under every selectable replacement policy (semantic priority vs LRU / CFLRU / 2Q / ARC / per-stream) on a TPC-H mix |
 //! | [`policy_ablation`] | Knob sweeps for the tunable policies (CFLRU clean-first window, 2Q `Kin`/`Kout`) with self-tuning ARC as the reference |
 //! | [`tier_migration`] | Online tier migration under a phase-shifting workload (hit ratio and per-device busy time, with vs without migration) |
+//! | [`crash_recovery`] | Fault-injected recovery from the write-ahead journal (convergence across crash points, recovery time) |
 //!
 //! Every driver takes the TPC-H scale to run at and returns a plain data
 //! structure with a `Display` implementation that prints the same rows the
-//! paper reports. (The [`tier_migration`] driver is the exception: its
-//! workload is a fixed synthetic phase shift, so it takes no scale.)
+//! paper reports. (The [`tier_migration`] and [`crash_recovery`] drivers
+//! are the exception: their workloads are fixed synthetic scenarios, so
+//! they take no scale.)
 
 pub mod ablation;
+pub mod crash_recovery;
 pub mod fig11;
 pub mod fig4;
 pub mod fig5;
